@@ -1,0 +1,41 @@
+"""Micro-ablations of individual HiveMind mechanisms (sections 4.3/4.6).
+
+These supplement the paper's Fig 13 system ablation with the design
+choices DESIGN.md calls out: container colocation, the keep-alive window,
+and straggler mitigation.
+"""
+
+from repro.experiments import ablation_mechanisms
+
+
+def test_ablation_colocation(run_figure):
+    result = run_figure(ablation_mechanisms.run_colocation)
+    hivemind = result.data["hivemind"]
+    stock = result.data["openwhisk"]
+    # The HiveMind scheduler actually colocates and it pays off.
+    assert hivemind["colocated"] > 50
+    assert stock["colocated"] == 0
+    assert hivemind["median_s"] < stock["median_s"]
+
+
+def test_ablation_keepalive(run_figure):
+    result = run_figure(ablation_mechanisms.run_keepalive)
+    cold = {key: entry["cold_fraction"]
+            for key, entry in result.data.items()}
+    # Cold-start fraction falls monotonically with keep-alive and has
+    # converged by the paper's 10-30 s operating range.
+    assert cold["0.2"] > cold["5.0"] > cold["60.0"]
+    assert cold["20.0"] < 0.1
+    assert abs(cold["20.0"] - cold["60.0"]) < 0.05
+    # Latency follows.
+    assert result.data["0.2"]["median_s"] > result.data["20.0"]["median_s"]
+
+
+def test_ablation_straggler(run_figure):
+    result = run_figure(ablation_mechanisms.run_straggler)
+    baseline = result.data["baseline"]
+    mitigated = result.data["mitigated"]
+    assert mitigated["duplicates"] > 0
+    # Duplicates cut the tail without hurting the median materially.
+    assert mitigated["p99_s"] < 0.7 * baseline["p99_s"]
+    assert mitigated["median_s"] < 1.3 * baseline["median_s"]

@@ -1,0 +1,42 @@
+"""Fig 1: treasure-hunt execution time + battery, real and simulated swarms.
+
+Paper shape: HiveMind fastest and most battery-efficient at 16 drones;
+at large scale the centralized systems degrade dramatically (the static
+IaaS reservation collapses, the FaaS control plane saturates) while
+HiveMind stays flat; distributed scales in time but burns the most battery
+among the scalable systems.
+"""
+
+from repro.experiments import fig01_treasure_hunt
+
+N_LARGE = 512
+
+
+def test_fig01_treasure_hunt(run_figure):
+    result = run_figure(fig01_treasure_hunt.run,
+                        repeats=1, n_small=16, n_large=N_LARGE)
+    small = {name: result.data[f"16:{name}"]
+             for name in fig01_treasure_hunt.PLATFORM_ORDER}
+    large = {name: result.data[f"{N_LARGE}:{name}"]
+             for name in fig01_treasure_hunt.PLATFORM_ORDER}
+
+    # 16-drone swarm: HiveMind wins time and battery; FaaS beats IaaS and
+    # the distributed system; distributed burns the most battery.
+    times16 = {n: e["exec_time_s"] for n, e in small.items()}
+    batteries16 = {n: e["battery_pct"] for n, e in small.items()}
+    assert times16["hivemind"] == min(times16.values())
+    assert times16["centralized_faas"] <= times16["centralized_iaas"]
+    assert times16["centralized_faas"] < times16["distributed_edge"]
+    assert batteries16["hivemind"] == min(batteries16.values())
+    assert batteries16["distributed_edge"] > batteries16["hivemind"]
+
+    # Large swarm: centralized systems hit scalability walls; HiveMind is
+    # near-flat; the gap is more dramatic than at 16 drones.
+    times_large = {n: e["exec_time_s"] for n, e in large.items()}
+    assert times_large["hivemind"] < 1.5 * times16["hivemind"]
+    assert times_large["centralized_iaas"] > \
+        5 * times_large["hivemind"]
+    assert times_large["centralized_faas"] > times_large["hivemind"]
+    small_gap = times16["centralized_iaas"] / times16["hivemind"]
+    large_gap = times_large["centralized_iaas"] / times_large["hivemind"]
+    assert large_gap > small_gap

@@ -1,0 +1,38 @@
+"""Fig 3: network overheads of fully centralized execution.
+
+Paper shape: (a) networking is at least ~22% of median latency across all
+jobs and a larger share at the tail; (b) S1's tail latency explodes once
+the drone count crosses the shared-medium capacity, with higher
+resolutions saturating at fewer drones (8 MB below 4 drones).
+"""
+
+import numpy as np
+
+from repro.experiments import fig03_network_overheads
+
+
+def test_fig03a_latency_breakdown(run_figure):
+    result = run_figure(fig03_network_overheads.run_breakdown)
+    shares = {key: entry["median"]["network"]
+              for key, entry in result.data.items()}
+    assert all(share >= 0.18 for share in shares.values())
+    assert float(np.mean(list(shares.values()))) >= 0.27
+    # The multi-phase scenarios are the most network-bound.
+    assert shares["ScA"] > 0.5 and shares["ScB"] > 0.5
+
+
+def test_fig03b_saturation(run_figure):
+    result = run_figure(fig03_network_overheads.run_saturation)
+    # Few drones at max resolution: latency still an order of magnitude
+    # below the saturated regime.
+    assert result.data["8.0MB:2"]["tail_ms"] < \
+        0.15 * result.data["8.0MB:16"]["tail_ms"]
+    # Saturation explodes the tail at large counts.
+    assert result.data["8.0MB:16"]["tail_ms"] > \
+        5 * result.data["8.0MB:2"]["tail_ms"]
+    # Higher resolution saturates at fewer drones.
+    assert result.data["8.0MB:8"]["tail_ms"] > \
+        2 * result.data["2.0MB:8"]["tail_ms"]
+    # Bandwidth bars rise with offered load until capacity.
+    assert result.data["2.0MB:16"]["bandwidth_mbs"] > \
+        result.data["2.0MB:2"]["bandwidth_mbs"]

@@ -1,0 +1,38 @@
+"""Fig 4: task/job latency, centralized cloud vs distributed edge.
+
+Paper shape: centralized wins for most jobs (higher compute + serverless
+concurrency) despite offloading costs; S3/S7 are comparable on both tiers;
+S4 (obstacle avoidance) is better at the edge; the scenarios behave
+similarly, more pronounced for Scenario B.
+"""
+
+from repro.experiments import fig04_centralized_vs_distributed
+
+
+def test_fig04_distributions(run_figure):
+    result = run_figure(fig04_centralized_vs_distributed.run,
+                        scenario_repeats=2)
+
+    def median(key):
+        return result.data[key].median if hasattr(
+            result.data[key], "median") else None
+
+    # Heavy jobs: centralized much faster.
+    for app_key in ("S1", "S2", "S5", "S9", "S10"):
+        cloud = result.data[f"{app_key}:centralized_faas"].median
+        edge = result.data[f"{app_key}:distributed_edge"].median
+        assert edge > 2.5 * cloud
+    # Light jobs: comparable.
+    for app_key in ("S3", "S7"):
+        cloud = result.data[f"{app_key}:centralized_faas"].median
+        edge = result.data[f"{app_key}:distributed_edge"].median
+        assert edge < 2.5 * cloud
+    # Obstacle avoidance wins at the edge (no network round trip).
+    s4_cloud = result.data["S4:centralized_faas"].median
+    s4_edge = result.data["S4:distributed_edge"].median
+    assert s4_edge < s4_cloud
+    # Scenarios: distributed takes longer end to end.
+    for scenario in ("ScA", "ScB"):
+        cloud = result.data[f"{scenario}:centralized_faas"]["makespans_s"]
+        edge = result.data[f"{scenario}:distributed_edge"]["makespans_s"]
+        assert min(edge) > max(cloud) * 0.9

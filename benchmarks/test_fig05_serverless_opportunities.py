@@ -1,0 +1,48 @@
+"""Fig 5: the opportunities of serverless for edge jobs.
+
+Paper shape: (a) serverless beats equal-cost fixed deployments, and
+intra-task parallelism multiplies the win for OCR/SLAM while buying little
+for maze/weather; (b) under fluctuating load, serverless tracks the load
+while the average-provisioned pool saturates and the max-provisioned pool
+idles; (c) respawns hide even 20% function failures.
+"""
+
+from repro.experiments import fig05_serverless_opportunities
+
+
+def test_fig05a_concurrency(run_figure):
+    result = run_figure(fig05_serverless_opportunities.run_concurrency)
+    for key in ("S1", "S2", "S9", "S10"):
+        entry = result.data[key]
+        assert entry["serverless_s"] < entry["fixed_s"]
+        assert entry["intra_s"] < 0.7 * entry["fixed_s"]
+    # Dramatic intra-task improvement for the parallel, heavy jobs.
+    assert result.data["S9"]["intra_s"] < \
+        0.65 * result.data["S9"]["serverless_s"]
+    assert result.data["S10"]["intra_s"] < \
+        0.65 * result.data["S10"]["serverless_s"]
+    # Maze/weather gain little from fine-grained parallelism.
+    for key in ("S6", "S7"):
+        entry = result.data[key]
+        assert entry["intra_s"] > 0.5 * entry["serverless_s"]
+
+
+def test_fig05b_elasticity(run_figure):
+    result = run_figure(fig05_serverless_opportunities.run_elasticity)
+    assert result.data["serverless"]["p99_s"] < \
+        result.data["fixed_avg"]["p99_s"]
+    # Max-provisioned performs but wastes reserved resources.
+    assert result.data["fixed_max"]["p99_s"] < \
+        result.data["fixed_avg"]["p99_s"]
+    assert result.data["fixed_max"]["utilization"] < 0.6
+
+
+def test_fig05c_fault_tolerance(run_figure):
+    result = run_figure(fig05_serverless_opportunities.run_fault_tolerance)
+    clean = result.data["0%"]
+    for label in ("5%", "10%", "20%"):
+        faulty = result.data[label]
+        assert faulty["respawns"] > 0
+        assert faulty["completed"] >= 0.95 * clean["completed"]
+    # Respawned work raises the active-task population.
+    assert result.data["20%"]["peak_active"] >= clean["peak_active"]

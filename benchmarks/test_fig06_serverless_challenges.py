@@ -1,0 +1,42 @@
+"""Fig 6: the challenges of serverless for edge applications.
+
+Paper shape: (a) serverless latency is consistently more variable than
+reserved resources; (b) container instantiation is a substantial latency
+share (~22% of median on average; above 40% for short weather-analytics
+tasks, below 20% for long maze tasks); (c) CouchDB data sharing is the
+slowest with a heavy tail, direct RPC is considerably faster, in-memory
+is nearly free.
+"""
+
+import numpy as np
+
+from repro.experiments import fig06_serverless_challenges
+
+
+def test_fig06a_variability(run_figure):
+    result = run_figure(fig06_serverless_challenges.run_variability)
+    worse = sum(1 for entry in result.data.values()
+                if entry["serverless_cv"] > entry["reserved_cv"])
+    assert worse >= 9
+
+
+def test_fig06b_instantiation(run_figure):
+    result = run_figure(fig06_serverless_challenges.run_breakdown,
+                        n_tasks=100)
+    shares = {key: entry["instantiation_pct"]
+              for key, entry in result.data.items()}
+    mean_share = float(np.mean(list(shares.values())))
+    assert 15 <= mean_share <= 40          # paper: ~22% average
+    assert shares["S7"] > 40               # short tasks: cold-start bound
+    assert shares["S6"] < 20               # long tasks: execution bound
+
+
+def test_fig06c_data_sharing(run_figure):
+    result = run_figure(fig06_serverless_challenges.run_sharing)
+    for key, entry in result.data.items():
+        # The exchange itself: CouchDB > RPC > in-memory, at the median
+        # and at the tail.
+        assert entry["couchdb.share"].median > \
+            entry["rpc.share"].median > entry["in_memory.share"].median
+        assert entry["couchdb.share"].p99 > entry["rpc.share"].p99
+        assert entry["couchdb.share"].p99 > entry["in_memory.share"].p99

@@ -1,0 +1,35 @@
+"""Fig 12: latency breakdown — centralized vs HiveMind.
+
+Paper shape: network acceleration + hybrid execution collapse the network
+share (33% -> ~9% in the paper); management and data-I/O shares shrink;
+the execution share grows under HiveMind (some tasks run on slower edge
+devices) — the deliberate trade for less traffic and better scaling.
+"""
+
+import numpy as np
+
+from repro.experiments import fig12_breakdown
+
+
+def test_fig12_breakdown(run_figure):
+    result = run_figure(fig12_breakdown.run)
+    app_keys = [f"S{i}" for i in range(1, 11)] + ["ScA", "ScB"]
+    centralized_shares = []
+    hivemind_shares = []
+    for key in app_keys:
+        centralized = result.data[f"{key}:centralized_faas"]
+        hivemind = result.data[f"{key}:hivemind"]
+        centralized_shares.append(centralized["mean_network"])
+        hivemind_shares.append(hivemind["mean_network"])
+    mean_centralized = float(np.mean(centralized_shares))
+    mean_hivemind = float(np.mean(hivemind_shares))
+    # The network share drops to a fraction of the centralized one.
+    assert mean_hivemind < 0.6 * mean_centralized
+    # Execution's share grows under HiveMind.
+    exec_centralized = np.mean([
+        result.data[f"{k}:centralized_faas"]["tail"]["execution"]
+        for k in app_keys])
+    exec_hivemind = np.mean([
+        result.data[f"{k}:hivemind"]["tail"]["execution"]
+        for k in app_keys])
+    assert exec_hivemind > exec_centralized

@@ -1,0 +1,50 @@
+"""Fig 13: incremental benefit of each HiveMind technique.
+
+Paper shape: network acceleration helps the centralized system but it
+stays behind HiveMind; adding remote-memory acceleration helps a bit
+more; the distributed system barely benefits from acceleration; HiveMind
+without acceleration keeps the hybrid benefit but regresses toward
+software networking costs. No single technique suffices.
+"""
+
+import numpy as np
+
+from repro.experiments import fig13_ablation
+
+
+def test_fig13_ablation(run_figure):
+    result = run_figure(fig13_ablation.run)
+    app_keys = [f"S{i}" for i in range(1, 11)]
+
+    def medians(config):
+        return np.array([result.data[f"{k}:{config}"]["median_s"]
+                         for k in app_keys])
+
+    hivemind = medians("hivemind")
+    centr_net = medians("centralized_net_accel")
+    centr_net_rm = medians("centralized_net_remote")
+    distributed = medians("distributed_edge")
+    distr_net = medians("distributed_net_accel")
+    hivemind_no_accel = medians("hivemind_no_accel")
+
+    # Full HiveMind is the best configuration on average.
+    for other in (centr_net, centr_net_rm, distributed, distr_net,
+                  hivemind_no_accel):
+        assert hivemind.mean() <= other.mean() * 1.02
+    # Remote memory on top of net accel never hurts the centralized
+    # system (single-tier tasks barely exercise it, so roughly equal).
+    assert centr_net_rm.mean() <= centr_net.mean() * 1.05
+    # The distributed system barely benefits from acceleration.
+    assert abs(distr_net.mean() - distributed.mean()) < \
+        0.15 * distributed.mean()
+    # HiveMind without acceleration still beats the distributed system
+    # (hybrid placement) but loses to full HiveMind.
+    assert hivemind_no_accel.mean() < distributed.mean()
+    assert hivemind.mean() < hivemind_no_accel.mean()
+    # Scenario makespans: full HiveMind wins end to end too.
+    for scenario in ("ScA", "ScB"):
+        full = result.data[f"{scenario}:hivemind"]["median_s"]
+        for config in ("centralized_net_accel", "distributed_edge",
+                       "hivemind_no_accel"):
+            assert full <= result.data[f"{scenario}:{config}"][
+                "median_s"] * 1.02

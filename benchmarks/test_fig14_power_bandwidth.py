@@ -1,0 +1,42 @@
+"""Fig 14: battery and bandwidth consumption across platforms.
+
+Paper shape: distributed burns the most battery; HiveMind the least
+(with S3/S4 as mild exceptions where splitting buys nothing); bandwidth
+is highest for centralized, lowest for distributed, with HiveMind in
+between and a small mean-to-tail gap.
+"""
+
+import numpy as np
+
+from repro.experiments import fig14_power_bandwidth
+
+
+def test_fig14_power_bandwidth(run_figure):
+    result = run_figure(fig14_power_bandwidth.run)
+    app_keys = [f"S{i}" for i in range(1, 11)]
+
+    def column(platform, field):
+        return np.array([result.data[f"{k}:{platform}"][field]
+                         for k in app_keys])
+
+    battery = {p: column(p, "battery_mean_pct")
+               for p in ("centralized_faas", "distributed_edge",
+                         "hivemind")}
+    bandwidth = {p: column(p, "bandwidth_mean_mbs")
+                 for p in ("centralized_faas", "distributed_edge",
+                           "hivemind")}
+    # Battery: distributed worst on average; HiveMind best on average.
+    assert battery["distributed_edge"].mean() > \
+        battery["hivemind"].mean()
+    assert battery["hivemind"].mean() <= \
+        battery["centralized_faas"].mean()
+    # Bandwidth: centralized >> hivemind >> distributed.
+    assert bandwidth["centralized_faas"].mean() > \
+        1.3 * bandwidth["hivemind"].mean()
+    assert bandwidth["hivemind"].mean() > \
+        5 * bandwidth["distributed_edge"].mean()
+    # Scenarios follow the same battery ordering.
+    for scenario in ("ScA", "ScB"):
+        assert result.data[f"{scenario}:hivemind"][
+            "battery_mean_pct"] < result.data[
+            f"{scenario}:distributed_edge"]["battery_mean_pct"]

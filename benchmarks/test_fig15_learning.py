@@ -1,0 +1,24 @@
+"""Fig 15: decision quality without and with retraining.
+
+Paper shape: never-retrained models leave non-trivial false positives and
+negatives; per-device retraining improves accuracy but leaves residual
+errors; swarm-wide retraining quickly resolves nearly all of them.
+"""
+
+from repro.experiments import fig15_learning
+
+
+def test_fig15_learning(run_figure):
+    result = run_figure(fig15_learning.run)
+    for scenario in ("ScA", "ScB"):
+        none = result.data[f"{scenario}:none"]
+        self_mode = result.data[f"{scenario}:self"]
+        swarm = result.data[f"{scenario}:swarm"]
+        # Monotone improvement: none < self < swarm.
+        assert none["correct_pct"] < self_mode["correct_pct"] < \
+            swarm["correct_pct"]
+        # The untrained baseline leaves a non-trivial error rate.
+        assert none["fn_pct"] + none["fp_pct"] > 15
+        # Swarm-wide retraining nearly eliminates errors.
+        assert swarm["correct_pct"] > 90
+        assert swarm["fn_pct"] + swarm["fp_pct"] < 10

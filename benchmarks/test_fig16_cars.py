@@ -1,0 +1,23 @@
+"""Fig 16: HiveMind on the robotic-car swarm.
+
+Paper shape: HiveMind gives the best and most predictable job latency on
+both car scenarios, especially versus the distributed configuration; the
+battery ordering matches, with smaller spreads than the drones (cars are
+much less power-constrained).
+"""
+
+from repro.experiments import fig16_cars
+
+
+def test_fig16_cars(run_figure):
+    result = run_figure(fig16_cars.run)
+    for scenario in ("TreasureHunt", "Maze"):
+        hivemind = result.data[f"{scenario}:hivemind"]
+        centralized = result.data[f"{scenario}:centralized_faas"]
+        distributed = result.data[f"{scenario}:distributed_edge"]
+        assert hivemind["job_median_s"] <= centralized["job_median_s"] * 1.02
+        assert hivemind["job_median_s"] < distributed["job_median_s"]
+        assert hivemind["battery_mean_pct"] <= \
+            distributed["battery_mean_pct"]
+        # Predictability: HiveMind's tail stays close to its median.
+        assert hivemind["job_p99_s"] < 2.0 * hivemind["job_median_s"]

@@ -1,0 +1,39 @@
+"""Fig 17: HiveMind's scalability with resolution and swarm size.
+
+Paper shape: (a) even at maximum resolution and frame rate HiveMind does
+not saturate the network (the on-board filter bounds upstream traffic);
+(b) bandwidth grows sublinearly in devices (runtime remapping pushes more
+computation on-board at scale) while tail latency stays controlled — in
+contrast to the centralized system's saturation.
+"""
+
+from repro.experiments import fig17_scalability
+
+SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def test_fig17a_resolution(run_figure):
+    result = run_figure(fig17_scalability.run_resolution)
+    for scenario in ("ScA", "ScB"):
+        base = result.data[f"{scenario}:0.5MB@8fps"]
+        maximum = result.data[f"{scenario}:8.0MB@32fps"]
+        # 64x the raw data, but latency stays within a small factor and
+        # the network never saturates.
+        assert maximum["tail_s"] < 4 * base["tail_s"]
+        assert maximum["makespan_s"] < 1.5 * base["makespan_s"]
+
+
+def test_fig17b_swarm_size(run_figure):
+    result = run_figure(fig17_scalability.run_swarm_size,
+                        sizes=SIZES, include_centralized_upto=128)
+    bw16 = result.data["ScA:hivemind:16"]["bandwidth_mbs"]
+    bw512 = result.data["ScA:hivemind:512"]["bandwidth_mbs"]
+    # Sublinear bandwidth growth: 32x devices -> well under 32x traffic.
+    assert bw512 < 0.8 * 32 * bw16
+    # Near-flat completion time across the sweep.
+    makespans = [result.data[f"ScA:hivemind:{n}"]["makespan_s"]
+                 for n in SIZES]
+    assert max(makespans) < 1.6 * min(makespans)
+    # Centralized is already worse at 128 devices.
+    assert result.data["ScA:centralized:128"]["makespan_s"] > \
+        result.data["ScA:hivemind:128"]["makespan_s"]

@@ -1,0 +1,17 @@
+"""Fig 18: simulator validation.
+
+Paper shape: the event simulator's tail latency deviates from the
+independent reference by less than 5% for every application on every
+platform (the paper's reference is the physical testbed; ours is the
+closed-form queueing model — see DESIGN.md).
+"""
+
+from repro.experiments import fig18_validation
+
+
+def test_fig18_validation(run_figure):
+    result = run_figure(fig18_validation.run)
+    deviations = [abs(entry["tail_deviation_pct"])
+                  for entry in result.data.values()]
+    assert len(deviations) == 30  # 10 apps x 3 platforms
+    assert max(deviations) < 5.0

@@ -1,0 +1,39 @@
+"""Crowd monitoring: count unique moving people with deduplication.
+
+Scenario B end-to-end: people wander the field, several drones photograph
+the same person, and the cloud-side FaceNet-style embedding clustering
+deduplicates the sightings into a unique count. Continuous learning is the
+star: the same mission is flown with the recognition model never
+retrained, retrained per device, and retrained swarm-wide (Fig 15).
+
+Run:  python examples/crowd_monitoring.py
+"""
+
+from repro.apps import SCENARIO_B
+from repro.platforms import ScenarioRunner, platform_config
+
+
+def monitor(retraining: str) -> None:
+    result = ScenarioRunner(
+        platform_config("hivemind"), SCENARIO_B, seed=11,
+        retraining=retraining, passes=3).run()
+    tally = result.extras["tally"]
+    correct, fn, fp = tally.as_row()
+    print(f"\n[retraining={retraining}]")
+    print(f"  unique people counted : {result.extras['unique_people']}"
+          f" (ground truth {result.extras['targets']})")
+    print(f"  recognition accuracy  : {correct:.1f}% correct, "
+          f"{fn:.1f}% missed, {fp:.1f}% false alarms")
+    print(f"  mission time          : {result.extras['makespan_s']:.1f} s")
+
+
+def main() -> None:
+    print("=== Crowd monitoring with continuous learning ===")
+    for mode in ("none", "self", "swarm"):
+        monitor(mode)
+    print("\nSwarm-wide retraining converges fastest: every drone's "
+          "verified detections\nimprove one shared model (section 4.6).")
+
+
+if __name__ == "__main__":
+    main()

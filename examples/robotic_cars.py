@@ -1,0 +1,32 @@
+"""Porting HiveMind to a different swarm: robotic cars (section 5.5).
+
+Fourteen Raspberry-Pi cars run the Treasure Hunt (follow OCR'd instruction
+panels to a target) and the Maze (wall-follower navigation) on three
+platforms. Cars are far less power-constrained than drones, so the
+interesting axis is job latency and its predictability.
+
+Run:  python examples/robotic_cars.py
+"""
+
+from repro.apps import CAR_MAZE, TREASURE_HUNT
+from repro.platforms import CarScenarioRunner, platform_config
+
+PLATFORMS = ("centralized_faas", "distributed_edge", "hivemind")
+
+
+def main() -> None:
+    for scenario in (TREASURE_HUNT, CAR_MAZE):
+        print(f"\n=== {scenario.name} ({scenario.description}) ===")
+        for platform in PLATFORMS:
+            result = CarScenarioRunner(
+                platform_config(platform), scenario, seed=21).run()
+            jobs = result.extras["job_latencies"]
+            battery_mean, battery_worst = result.battery_summary()
+            print(f"  {platform:20s} job median {jobs.median:7.1f} s | "
+                  f"p99 {jobs.p99:7.1f} s | battery {battery_mean:5.2f}% "
+                  f"(worst {battery_worst:5.2f}%) | perception on "
+                  f"{result.extras['perception_tier']}")
+
+
+if __name__ == "__main__":
+    main()

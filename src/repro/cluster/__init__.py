@@ -1,0 +1,6 @@
+"""Backend cluster: server/core/memory models and fixed IaaS pools."""
+
+from .iaas import FixedPool
+from .server import Cluster, CoreGrant, Server
+
+__all__ = ["Server", "CoreGrant", "Cluster", "FixedPool"]

@@ -1,0 +1,21 @@
+"""HiveMind core: the centralized controller and its subsystems."""
+
+from .controller import HiveMindController
+from .fault_tolerance import FailureDetector
+from .learning_manager import ContinuousLearningManager
+from .load_balancer import LoadBalancer
+from .monitoring import EdgeMonitor, MonitoringSystem, WorkerMonitor
+from .placement_manager import RuntimePlacementManager
+from .straggler import StragglerMitigator
+
+__all__ = [
+    "HiveMindController",
+    "LoadBalancer",
+    "MonitoringSystem",
+    "WorkerMonitor",
+    "EdgeMonitor",
+    "StragglerMitigator",
+    "FailureDetector",
+    "ContinuousLearningManager",
+    "RuntimePlacementManager",
+]

@@ -1,0 +1,104 @@
+"""The centralized HiveMind controller (paper sections 4.2-4.6).
+
+Cloud-resident, with global visibility into cloud and edge resources. It
+composes: a load balancer partitioning work across devices, the interface
+to the serverless scheduler, the edge communication interface, the
+monitoring system, straggler mitigation, heartbeat-based fault tolerance,
+and the continuous-learning manager. Implemented as a centralized process
+with hot standby copies that take over on failure (section 4.7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..config import PaperConstants
+from ..edge import Swarm
+from ..serverless import InvocationRequest, OpenWhiskPlatform
+from ..sim import Environment
+from .fault_tolerance import FailureDetector
+from .learning_manager import ContinuousLearningManager
+from .load_balancer import LoadBalancer
+from .monitoring import MonitoringSystem
+from .straggler import StragglerMitigator
+
+__all__ = ["HiveMindController"]
+
+
+class HiveMindController:
+    """Global coordinator for one HiveMind deployment."""
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 platform: OpenWhiskPlatform,
+                 swarm: Optional[Swarm] = None,
+                 constants: Optional[PaperConstants] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 enable_monitoring: bool = True,
+                 enable_straggler_mitigation: bool = True,
+                 enable_fault_tolerance: bool = True):
+        self.env = env
+        self.cluster = cluster
+        self.platform = platform
+        self.swarm = swarm
+        self.constants = constants or PaperConstants()
+        control = self.constants.control
+        self.load_balancer = LoadBalancer(control.load_balance_policy)
+        self.monitoring = (
+            MonitoringSystem(env, cluster, swarm, control)
+            if enable_monitoring else None)
+        self.straggler = (
+            StragglerMitigator(env, platform, control)
+            if enable_straggler_mitigation else None)
+        self.failure_detector: Optional[FailureDetector] = None
+        if enable_fault_tolerance and swarm is not None:
+            swarm.start_heartbeats()
+            self.failure_detector = FailureDetector(
+                env, swarm, control, on_failure=self._on_device_failure)
+        self.learning = (
+            ContinuousLearningManager(sorted(swarm.devices), rng)
+            if (swarm is not None and rng is not None) else None)
+        #: Hot standby controllers (section 4.7: two hot standbys).
+        self.standbys_remaining = control.hot_standbys
+        self.failovers = 0
+        self.route_updates: List[str] = []
+
+    # -- dispatch ------------------------------------------------------------
+    def dispatch(self, request: InvocationRequest) -> Generator:
+        """Process: run one cloud task through straggler mitigation."""
+        if self.straggler is not None:
+            invocation = yield self.env.process(
+                self.straggler.invoke(request))
+        else:
+            invocation = yield self.env.process(
+                self.platform.invoke(request))
+        if self.monitoring is not None:
+            # Monitoring's (verified-negligible) latency overhead.
+            extra = invocation.latency_s * \
+                (self.monitoring.overhead_factor() - 1.0)
+            yield self.env.timeout(extra)
+        return invocation
+
+    # -- fault tolerance ----------------------------------------------------
+    def _on_device_failure(self, device_id: str,
+                           new_assignment: Dict[str, list]) -> None:
+        """Record which devices received updated routes (Fig 10)."""
+        heirs = [d for d, regions in new_assignment.items()
+                 if len(regions) > 1]
+        self.route_updates.extend(heirs)
+
+    # -- controller redundancy ------------------------------------------------
+    def fail_over(self) -> Generator:
+        """Process: primary controller crash -> hot standby takes over.
+
+        The standby already mirrors state, so the takeover pause is one
+        heartbeat period (detection) — far below a cold controller restart.
+        """
+        if self.standbys_remaining <= 0:
+            raise RuntimeError("no hot standby controllers remain")
+        yield self.env.timeout(self.constants.control.heartbeat_period_s)
+        self.standbys_remaining -= 1
+        self.failovers += 1
+        return self.standbys_remaining

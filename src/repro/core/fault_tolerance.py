@@ -1,0 +1,99 @@
+"""Edge fault tolerance: heartbeat detection + load repartitioning.
+
+Devices heartbeat once per second; miss three seconds of beats and the
+controller declares the device failed (section 4.6) and repartitions its
+assigned area among neighbouring devices with sufficient battery (Fig 10),
+pushing updated routes to the heirs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..config import ControlConstants
+from ..edge import Swarm
+from ..routing import repartition_on_failure
+from ..sim import Environment
+
+__all__ = ["FailureDetector"]
+
+FailureCallback = Callable[[str, Dict[str, list]], None]
+
+
+class FailureDetector:
+    """Consumes the swarm heartbeat bus and detects silent devices."""
+
+    #: Minimum battery fraction a neighbour needs to inherit work.
+    MIN_HEIR_BATTERY = 0.10
+
+    def __init__(self, env: Environment, swarm: Swarm,
+                 constants: Optional[ControlConstants] = None,
+                 on_failure: Optional[FailureCallback] = None):
+        self.env = env
+        self.swarm = swarm
+        self.constants = constants or swarm.control
+        self.on_failure = on_failure
+        self.last_beat: Dict[str, float] = {
+            device_id: 0.0 for device_id in swarm.devices}
+        self.failed: List[str] = []
+        self._consumer = env.process(self._consume())
+        self._checker = env.process(self._check())
+
+    def _consume(self) -> Generator:
+        while True:
+            beat = yield self.swarm.heartbeat_bus.get()
+            self.last_beat[beat.device_id] = beat.time
+
+    def _check(self) -> Generator:
+        timeout = self.constants.heartbeat_timeout_s
+        while True:
+            yield self.env.timeout(self.constants.heartbeat_period_s)
+            for device_id, last in list(self.last_beat.items()):
+                if device_id in self.failed:
+                    continue
+                if self.env.now - last > timeout:
+                    self._declare_failed(device_id)
+
+    def _declare_failed(self, device_id: str) -> None:
+        self.failed.append(device_id)
+        device = self.swarm.devices[device_id]
+        device.alive = False  # the controller stops dispatching to it
+        new_assignment = self._repartition(device_id)
+        if self.on_failure is not None:
+            self.on_failure(device_id, new_assignment)
+
+    def _repartition(self, device_id: str) -> Dict[str, list]:
+        """Give the failed device's region(s) to healthy neighbours."""
+        if device_id not in self.swarm.regions:
+            return {d: r for d, r in self.swarm.regions.items()
+                    if d != device_id}
+        # Flatten to a single-region view for the geometric repartition,
+        # skipping heirs whose battery is too low (section 4.6: "assuming
+        # they have sufficient battery").
+        flat = {d: regions[0] for d, regions in self.swarm.regions.items()
+                if regions and self._eligible(d, device_id)}
+        if device_id not in flat:
+            flat[device_id] = self.swarm.regions[device_id][0]
+        if len(flat) <= 1:
+            new_assignment = {d: list(r) for d, r in
+                              self.swarm.regions.items() if d != device_id}
+        else:
+            new_assignment = repartition_on_failure(flat, device_id)
+            # Devices excluded for low battery keep their old regions.
+            for d, regions in self.swarm.regions.items():
+                if d != device_id and d not in new_assignment:
+                    new_assignment[d] = list(regions)
+        self.swarm.regions = {d: list(regions)
+                              for d, regions in new_assignment.items()}
+        return new_assignment
+
+    def _eligible(self, device_id: str, failed_id: str) -> bool:
+        if device_id == failed_id:
+            return True  # the failed device itself must be in the map
+        device = self.swarm.devices[device_id]
+        return (device.alive and
+                device.energy.remaining_fraction > self.MIN_HEIR_BATTERY)
+
+    @property
+    def alive_count(self) -> int:
+        return len(self.swarm.devices) - len(self.failed)

@@ -1,0 +1,72 @@
+"""Continuous-learning manager (paper section 4.6).
+
+Maps the DSL's ``Learn(task, scope)`` directive onto the learning
+substrate: ``global`` scope retrains one shared model from the whole
+swarm's decisions (HiveMind's centralized advantage), ``local`` keeps
+per-device models, ``off`` disables retraining.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dsl import DirectiveSet
+from ..learning import IdentitySpace, OnlineRecognizer, RetrainingMode
+
+__all__ = ["ContinuousLearningManager"]
+
+_SCOPE_TO_MODE = {
+    "global": RetrainingMode.SWARM,
+    "local": RetrainingMode.SELF,
+    "off": RetrainingMode.NONE,
+}
+
+
+class ContinuousLearningManager:
+    """Owns the recognizers behind every Learn-annotated task."""
+
+    def __init__(self, device_ids: List[str],
+                 rng: np.random.Generator,
+                 sensor_noise: float = 0.45,
+                 pretrain_noise: float = 0.6):
+        if not device_ids:
+            raise ValueError("need at least one device")
+        self.device_ids = list(device_ids)
+        self.rng = rng
+        self.sensor_noise = sensor_noise
+        self.pretrain_noise = pretrain_noise
+        self._recognizers: Dict[str, OnlineRecognizer] = {}
+
+    @staticmethod
+    def mode_for_scope(scope: str) -> RetrainingMode:
+        mode = _SCOPE_TO_MODE.get(scope.lower())
+        if mode is None:
+            raise ValueError(f"unknown learning scope {scope!r}")
+        return mode
+
+    def register_task(self, task_name: str, space: IdentitySpace,
+                      directives: Optional[DirectiveSet] = None,
+                      default_scope: str = "off") -> OnlineRecognizer:
+        """Create the recognizer for a task per its Learn directive."""
+        scope = default_scope
+        if directives is not None:
+            scope = directives.learning.get(task_name, default_scope)
+        recognizer = OnlineRecognizer(
+            space, self.device_ids, self.mode_for_scope(scope),
+            rng=self.rng,
+            sensor_noise=self.sensor_noise,
+            pretrain_noise=self.pretrain_noise)
+        self._recognizers[task_name] = recognizer
+        return recognizer
+
+    def recognizer_for(self, task_name: str) -> OnlineRecognizer:
+        recognizer = self._recognizers.get(task_name)
+        if recognizer is None:
+            raise KeyError(f"no recognizer registered for {task_name!r}")
+        return recognizer
+
+    @property
+    def task_names(self) -> List[str]:
+        return sorted(self._recognizers)

@@ -1,0 +1,83 @@
+"""Work distribution across devices (part of the HiveMind controller).
+
+The controller's load balancer partitions available work across all
+devices (section 4.2). Round-robin is the DSL default
+(``load_balancer='round robin'`` in Listing 3); least-loaded picks the
+device with the fewest outstanding items; weighted splits proportionally
+to remaining battery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..edge import EdgeDevice
+
+__all__ = ["LoadBalancer"]
+
+POLICIES = ("round_robin", "least_loaded", "battery_weighted")
+
+
+class LoadBalancer:
+    """Assigns work items to alive devices under a pluggable policy."""
+
+    def __init__(self, policy: str = "round_robin"):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; valid: {POLICIES}")
+        self.policy = policy
+        self._next = 0
+        self.outstanding: Dict[str, int] = {}
+
+    def _alive(self, devices: Sequence[EdgeDevice]) -> List[EdgeDevice]:
+        alive = [d for d in devices if d.alive]
+        if not alive:
+            raise ValueError("no alive devices to balance across")
+        return alive
+
+    def assign(self, devices: Sequence[EdgeDevice]) -> EdgeDevice:
+        """Pick the device for the next work item."""
+        alive = self._alive(devices)
+        if self.policy == "round_robin":
+            chosen = alive[self._next % len(alive)]
+            self._next += 1
+        elif self.policy == "least_loaded":
+            chosen = min(alive, key=lambda d: (
+                self.outstanding.get(d.device_id, 0), d.device_id))
+        else:  # battery_weighted: most remaining battery first
+            chosen = max(alive, key=lambda d: (
+                d.energy.remaining_fraction, d.device_id))
+        self.outstanding[chosen.device_id] = \
+            self.outstanding.get(chosen.device_id, 0) + 1
+        return chosen
+
+    def complete(self, device_id: str) -> None:
+        """Mark one outstanding item on a device as done."""
+        count = self.outstanding.get(device_id, 0)
+        if count <= 0:
+            raise ValueError(
+                f"device {device_id!r} has no outstanding work")
+        self.outstanding[device_id] = count - 1
+
+    def split(self, n_items: int,
+              devices: Sequence[EdgeDevice]) -> Dict[str, int]:
+        """Partition ``n_items`` across devices per the policy."""
+        if n_items < 0:
+            raise ValueError("item count must be non-negative")
+        alive = self._alive(devices)
+        shares = {d.device_id: 0 for d in alive}
+        if self.policy == "battery_weighted":
+            total = sum(d.energy.remaining_fraction for d in alive)
+            if total > 0:
+                assigned = 0
+                for device in alive[:-1]:
+                    share = round(n_items *
+                                  device.energy.remaining_fraction / total)
+                    shares[device.device_id] = share
+                    assigned += share
+                shares[alive[-1].device_id] = n_items - assigned
+                return shares
+        base, remainder = divmod(n_items, len(alive))
+        for index, device in enumerate(alive):
+            shares[device.device_id] = base + (1 if index < remainder else 0)
+        return shares

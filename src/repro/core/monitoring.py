@@ -1,0 +1,109 @@
+"""Monitoring: worker monitors on every server, edge monitors per device.
+
+HiveMind deploys a lightweight worker monitor on each server that
+periodically samples active-function performance and server utilization
+(section 4.3); an edge monitor tracks device status. The paper verifies the
+monitoring overhead is negligible (<0.1% tail latency, <0.15% throughput) —
+the model charges that overhead explicitly so the claim is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..cluster import Cluster, Server
+from ..config import ControlConstants
+from ..edge import Swarm
+from ..sim import Environment
+from ..telemetry import MetricRegistry
+
+__all__ = ["WorkerMonitor", "EdgeMonitor", "MonitoringSystem"]
+
+
+class WorkerMonitor:
+    """Per-server utilization/performance sampler."""
+
+    def __init__(self, env: Environment, server: Server,
+                 registry: MetricRegistry,
+                 period_s: float = 1.0):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.server = server
+        self.registry = registry
+        self.period_s = period_s
+        self.samples = 0
+        self._process = env.process(self._run())
+
+    def _run(self) -> Generator:
+        while True:
+            self.registry.add(
+                f"util.{self.server.server_id}",
+                self.server.utilization, time=self.env.now)
+            self.samples += 1
+            yield self.env.timeout(self.period_s)
+
+    def latest_utilization(self) -> float:
+        series = self.registry.series(f"util.{self.server.server_id}")
+        return series.values[-1] if len(series) else 0.0
+
+
+class EdgeMonitor:
+    """Device status sampler (battery, liveness)."""
+
+    def __init__(self, env: Environment, swarm: Swarm,
+                 registry: MetricRegistry, period_s: float = 1.0):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.swarm = swarm
+        self.registry = registry
+        self.period_s = period_s
+        self._process = env.process(self._run())
+
+    def _run(self) -> Generator:
+        while True:
+            alive = len(self.swarm.alive_devices)
+            self.registry.add("swarm.alive", alive, time=self.env.now)
+            batteries = [d.energy.remaining_fraction
+                         for d in self.swarm.alive_devices]
+            if batteries:
+                self.registry.add("swarm.battery_min", min(batteries),
+                                  time=self.env.now)
+            yield self.env.timeout(self.period_s)
+
+
+class MonitoringSystem:
+    """All monitors for one deployment, plus the overhead accounting."""
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 swarm: Optional[Swarm] = None,
+                 constants: Optional[ControlConstants] = None):
+        self.env = env
+        self.constants = constants or ControlConstants()
+        self.registry = MetricRegistry()
+        self.worker_monitors: Dict[str, WorkerMonitor] = {
+            server_id: WorkerMonitor(
+                env, server, self.registry,
+                period_s=self.constants.monitor_period_s)
+            for server_id, server in cluster.servers.items()
+        }
+        self.edge_monitor = (
+            EdgeMonitor(env, swarm, self.registry,
+                        period_s=self.constants.monitor_period_s)
+            if swarm is not None else None)
+
+    def overhead_factor(self) -> float:
+        """Latency inflation the monitoring imposes (paper: <0.1%)."""
+        return 1.0 + self.constants.monitor_overhead_fraction
+
+    def least_utilized_server(self) -> str:
+        """Scheduler helper: the server with the lowest last sample."""
+        best_id, best_value = None, float("inf")
+        for server_id, monitor in sorted(self.worker_monitors.items()):
+            value = monitor.latest_utilization()
+            if value < best_value:
+                best_id, best_value = server_id, value
+        if best_id is None:
+            raise RuntimeError("no worker monitors registered")
+        return best_id

@@ -1,0 +1,66 @@
+"""Runtime placement management (paper section 4.2).
+
+The compiler hands the controller a ranked list of execution models; the
+user's constraints picked the initial one. At runtime HiveMind monitors the
+measured metrics and, when goals are missed, remaps to the next-best model —
+at task granularity only (a partially-completed task never migrates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dsl import CompilationResult, CompiledPlan, Constraint, PlanEstimate
+
+__all__ = ["RuntimePlacementManager"]
+
+
+class RuntimePlacementManager:
+    """Tracks the active plan and remaps when measured goals are missed."""
+
+    #: Consecutive violating measurements before a remap (debounce).
+    VIOLATION_WINDOW = 5
+
+    def __init__(self, compilation: CompilationResult,
+                 constraints: Optional[List[Constraint]] = None):
+        self.compilation = compilation
+        self.constraints = (list(constraints) if constraints is not None
+                            else list(compilation.graph.constraints))
+        self._index = compilation.plans.index(compilation.chosen)
+        self._violations = 0
+        self.remaps = 0
+
+    @property
+    def active_plan(self) -> CompiledPlan:
+        return self.compilation.plans[self._index]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self.compilation.plans) - 1
+
+    def _violates(self, latency_s: float, power_w: float) -> bool:
+        measured = PlanEstimate(
+            latency_s=latency_s,
+            device_power_w=power_w,
+            network_mbs=self.active_plan.estimate.network_mbs,
+            cloud_core_demand=self.active_plan.estimate.cloud_core_demand,
+            throughput_hz=self.active_plan.estimate.throughput_hz,
+            feasible=True)
+        return any(not c.satisfied_by(measured) for c in self.constraints)
+
+    def observe(self, latency_s: float, power_w: float = 0.0) -> bool:
+        """Feed one measurement; returns True when a remap happened."""
+        if not self.constraints:
+            return False
+        if not self._violates(latency_s, power_w):
+            self._violations = 0
+            return False
+        self._violations += 1
+        if self._violations < self.VIOLATION_WINDOW or self.exhausted:
+            return False
+        # Remap to the next-ranked plan (task granularity: callers apply
+        # the new placement only to tasks not yet started).
+        self._index += 1
+        self._violations = 0
+        self.remaps += 1
+        return True

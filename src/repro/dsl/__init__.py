@@ -1,0 +1,66 @@
+"""HiveMind DSL: task graphs, directives, synthesis, codegen, compiler."""
+
+from .ast import PLACEMENTS, Placement, Stream, Task, TaskGraph, TaskProfile
+from .codegen import ApiArtifact, ApiBundle, generate_apis
+from .compiler import CompilationResult, CompiledPlan, HiveMindCompiler
+from .constraints import (
+    Constraint,
+    CostConstraint,
+    ExecTimeConstraint,
+    LatencyConstraint,
+    PlanEstimate,
+    PowerConstraint,
+    ThroughputConstraint,
+)
+from .directives import (
+    DirectiveSet,
+    Isolate,
+    Learn,
+    Overlap,
+    Parallel,
+    Persist,
+    Place,
+    Restore,
+    Schedule,
+    Serial,
+    Synchronize,
+)
+from .synthesis import SynthesisError, enumerate_placements
+from .validation import ValidationError, validate_graph
+
+__all__ = [
+    "Task",
+    "Stream",
+    "TaskGraph",
+    "TaskProfile",
+    "Placement",
+    "PLACEMENTS",
+    "Parallel",
+    "Serial",
+    "Overlap",
+    "Synchronize",
+    "DirectiveSet",
+    "Schedule",
+    "Isolate",
+    "Place",
+    "Restore",
+    "Learn",
+    "Persist",
+    "validate_graph",
+    "ValidationError",
+    "enumerate_placements",
+    "SynthesisError",
+    "generate_apis",
+    "ApiBundle",
+    "ApiArtifact",
+    "HiveMindCompiler",
+    "CompilationResult",
+    "CompiledPlan",
+    "PlanEstimate",
+    "Constraint",
+    "LatencyConstraint",
+    "ExecTimeConstraint",
+    "PowerConstraint",
+    "CostConstraint",
+    "ThroughputConstraint",
+]

@@ -1,0 +1,133 @@
+"""User-facing performance/power/cost constraints and plan estimates.
+
+In addition to the control flow, users specify the performance metrics the
+application must meet — execution time, latency, throughput — and optionally
+a cloud cost ceiling (section 4.1). HiveMind uses these to choose among the
+synthesized execution models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = [
+    "PlanEstimate",
+    "Constraint",
+    "LatencyConstraint",
+    "ExecTimeConstraint",
+    "PowerConstraint",
+    "CostConstraint",
+    "ThroughputConstraint",
+]
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Predicted behaviour of one execution model (per activation)."""
+
+    #: Critical-path latency of one task-graph activation (seconds).
+    latency_s: float
+    #: Mean extra power draw per device above baseline motion (watts).
+    device_power_w: float
+    #: Aggregate edge-to-cloud bandwidth demand (MB/s).
+    network_mbs: float
+    #: Cloud core-seconds consumed per second (cost proxy).
+    cloud_core_demand: float
+    #: Sustainable activations per second per device.
+    throughput_hz: float
+    #: False when some resource is past saturation.
+    feasible: bool = True
+
+
+class Constraint:
+    """Base: a predicate over :class:`PlanEstimate`."""
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LatencyConstraint(Constraint):
+    max_latency_s: float
+
+    def __post_init__(self):
+        if self.max_latency_s <= 0:
+            raise ValueError("latency bound must be positive")
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        return estimate.feasible and estimate.latency_s <= self.max_latency_s
+
+    def describe(self) -> str:
+        return f"latency <= {self.max_latency_s}s"
+
+
+@dataclass(frozen=True)
+class ExecTimeConstraint(Constraint):
+    """Bound on end-to-end activation time (the Listing 3
+    ``constraint=[execTime='10s']``)."""
+
+    max_exec_s: float
+
+    def __post_init__(self):
+        if self.max_exec_s <= 0:
+            raise ValueError("execution-time bound must be positive")
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        return estimate.feasible and estimate.latency_s <= self.max_exec_s
+
+    def describe(self) -> str:
+        return f"exec time <= {self.max_exec_s}s"
+
+
+@dataclass(frozen=True)
+class PowerConstraint(Constraint):
+    max_device_power_w: float
+
+    def __post_init__(self):
+        if self.max_device_power_w <= 0:
+            raise ValueError("power bound must be positive")
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        return (estimate.feasible and
+                estimate.device_power_w <= self.max_device_power_w)
+
+    def describe(self) -> str:
+        return f"device power <= {self.max_device_power_w}W"
+
+
+@dataclass(frozen=True)
+class CostConstraint(Constraint):
+    """Ceiling on cloud resource usage (core-seconds per second)."""
+
+    max_cloud_cores: float
+
+    def __post_init__(self):
+        if self.max_cloud_cores < 0:
+            raise ValueError("cost bound must be non-negative")
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        return (estimate.feasible and
+                estimate.cloud_core_demand <= self.max_cloud_cores)
+
+    def describe(self) -> str:
+        return f"cloud cores <= {self.max_cloud_cores}"
+
+
+@dataclass(frozen=True)
+class ThroughputConstraint(Constraint):
+    min_throughput_hz: float
+
+    def __post_init__(self):
+        if self.min_throughput_hz <= 0:
+            raise ValueError("throughput bound must be positive")
+
+    def satisfied_by(self, estimate: PlanEstimate) -> bool:
+        return (estimate.feasible and
+                estimate.throughput_hz >= self.min_throughput_hz)
+
+    def describe(self) -> str:
+        return f"throughput >= {self.min_throughput_hz}/s"

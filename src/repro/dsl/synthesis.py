@@ -1,0 +1,84 @@
+"""Placement-space synthesis (paper section 4.2, Fig 8).
+
+For a task graph with k unpinned tasks there are 2^k cloud/edge execution
+models. HiveMind enumerates the *meaningful* ones:
+
+- tasks pinned by profile (``edge_only`` sensor collection / actuation,
+  ``cloud_only`` global aggregation) or by a ``Place`` directive keep their
+  tier;
+- models where an unpinned task sits at the edge squeezed between cloud
+  stages ("cloud -> edge -> cloud" bouncing) are discarded — they ship the
+  data down and straight back up for no reason;
+- an upper bound protects against combinatorial explosion (a 2-tier graph
+  yields 4 models, the paper's example).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional
+
+from .ast import Placement, TaskGraph
+from .directives import DirectiveSet
+
+__all__ = ["enumerate_placements", "SynthesisError"]
+
+#: Enumeration guard: beyond this many unpinned tasks, refuse (the paper
+#: notes users provide hints exactly to keep the space tractable).
+MAX_FREE_TASKS = 14
+
+
+class SynthesisError(Exception):
+    """The placement space cannot be enumerated."""
+
+
+def _pinned_tier(graph: TaskGraph, directives: Optional[DirectiveSet],
+                 task_name: str) -> Optional[str]:
+    if directives is not None and task_name in directives.placements:
+        return directives.placements[task_name]
+    profile = graph.task(task_name).profile
+    if profile is not None:
+        if profile.edge_only:
+            return "edge"
+        if profile.cloud_only:
+            return "cloud"
+    return None
+
+
+def _is_bounce(graph: TaskGraph, assignment: Dict[str, str],
+               task_name: str, pinned: Dict[str, Optional[str]]) -> bool:
+    """An unpinned edge task with cloud parents and cloud children is a
+    pointless down-and-up data bounce."""
+    if assignment[task_name] != "edge" or pinned[task_name] is not None:
+        return False
+    parents = graph.parents_of(task_name)
+    children = graph.children_of(task_name)
+    if not parents or not children:
+        return False
+    return (all(assignment[p] == "cloud" for p in parents) and
+            all(assignment[c] == "cloud" for c in children))
+
+
+def enumerate_placements(graph: TaskGraph,
+                         directives: Optional[DirectiveSet] = None
+                         ) -> List[Placement]:
+    """All meaningful execution models for the graph."""
+    names = graph.topological_order()
+    pinned = {name: _pinned_tier(graph, directives, name) for name in names}
+    free = [name for name in names if pinned[name] is None]
+    if len(free) > MAX_FREE_TASKS:
+        raise SynthesisError(
+            f"{len(free)} unpinned tasks yield 2^{len(free)} models; "
+            f"pin some with Place() or profile flags")
+    placements: List[Placement] = []
+    for combo in product(("cloud", "edge"), repeat=len(free)):
+        assignment = {name: tier for name, tier in pinned.items()
+                      if tier is not None}
+        assignment.update(dict(zip(free, combo)))
+        if any(_is_bounce(graph, assignment, name, pinned)
+               for name in names):
+            continue
+        placements.append(Placement.of(assignment))
+    if not placements:
+        raise SynthesisError("no meaningful execution model survives")
+    return placements

@@ -1,0 +1,23 @@
+"""Edge devices: field world, sensors, drones, robotic cars, swarms."""
+
+from .car import RoboticCar
+from .device import EdgeDevice
+from .drone import Drone
+from .field import FieldWorld, Person
+from .sensors import Camera, FrameBatch, SensorReading, SensorSuite
+from .swarm import Heartbeat, Swarm, build_drone_swarm
+
+__all__ = [
+    "EdgeDevice",
+    "Drone",
+    "RoboticCar",
+    "FieldWorld",
+    "Person",
+    "Camera",
+    "FrameBatch",
+    "SensorReading",
+    "SensorSuite",
+    "Swarm",
+    "Heartbeat",
+    "build_drone_swarm",
+]

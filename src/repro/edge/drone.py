@@ -1,0 +1,115 @@
+"""Drone model (Parrot AR. Drone 2.0, section 2.1).
+
+A drone flies a waypoint route at constant speed, captures one
+:class:`~repro.edge.sensors.FrameBatch` per second while airborne, and
+samples its telemetry sensors. The batch callback is how the platform layer
+decides what happens to the data (upload to the cloud, process on-board, or
+HiveMind's hybrid split) without the drone knowing about platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import DroneConstants
+from ..sim import Environment
+from .device import EdgeDevice
+from .field import FieldWorld
+from .sensors import Camera, FrameBatch, SensorSuite
+
+__all__ = ["Drone"]
+
+Point = Tuple[float, float]
+BatchCallback = Callable[[FrameBatch], None]
+
+
+class Drone(EdgeDevice):
+    """A camera drone."""
+
+    def __init__(self, env: Environment, device_id: str,
+                 constants: DroneConstants,
+                 rng: Optional[np.random.Generator] = None,
+                 strict_battery: bool = False,
+                 frame_mb: Optional[float] = None,
+                 fps: Optional[float] = None):
+        super().__init__(
+            env, device_id,
+            cpu_cores=constants.cpu_cores,
+            battery_wh=constants.battery_wh,
+            motion_power_w=constants.motion_power_w,
+            compute_power_w=constants.compute_power_w,
+            compute_idle_w=constants.compute_idle_w,
+            radio_tx_w=constants.radio_tx_w,
+            radio_rx_w=constants.radio_rx_w,
+            radio_idle_w=constants.radio_idle_w,
+            cloud_to_edge_slowdown=constants.cloud_to_edge_slowdown,
+            rng=rng, strict_battery=strict_battery)
+        self.constants = constants
+        self.speed_mps = constants.speed_mps
+        self.camera = Camera(
+            fps=fps if fps is not None else constants.frames_per_second,
+            frame_mb=frame_mb if frame_mb is not None else constants.frame_mb,
+            fov_width_m=constants.fov_width_m,
+            fov_depth_m=constants.fov_depth_m)
+        self.sensors = SensorSuite(rng) if rng is not None else None
+
+    def fly_route(self, waypoints: List[Point], world: FieldWorld,
+                  on_batch: Optional[BatchCallback] = None,
+                  capture: bool = True) -> Generator:
+        """Process: fly the route, capturing one frame batch per second.
+
+        Returns the number of batches captured. Stops immediately if the
+        drone fails mid-flight.
+        """
+        if not waypoints:
+            return 0
+        batches = 0
+        self.position = waypoints[0]
+        for target in waypoints[1:]:
+            if not self.alive:
+                break
+            batches += yield from self._fly_leg(
+                target, world, on_batch, capture)
+            # Turn penalty between legs.
+            if self.alive and self.constants.turn_time_s > 0:
+                yield self.env.timeout(self.constants.turn_time_s)
+                self.account_motion(self.constants.turn_time_s)
+        return batches
+
+    def _fly_leg(self, target: Point, world: FieldWorld,
+                 on_batch: Optional[BatchCallback],
+                 capture: bool) -> Generator:
+        """Fly one straight leg in 1-second ticks, capturing per tick."""
+        batches = 0
+        while self.alive:
+            dx = target[0] - self.position[0]
+            dy = target[1] - self.position[1]
+            distance = math.hypot(dx, dy)
+            if distance < 1e-9:
+                break
+            step_s = min(1.0, distance / self.speed_mps)
+            step_m = self.speed_mps * step_s
+            fraction = min(1.0, step_m / distance)
+            self.position = (self.position[0] + fraction * dx,
+                             self.position[1] + fraction * dy)
+            yield self.env.timeout(step_s)
+            self.account_motion(step_s)
+            world.advance(self.env.now)
+            if capture and step_s >= 0.5:
+                batch = self.camera.capture_batch(
+                    self.device_id, world, self.position, self.env.now,
+                    duration_s=step_s)
+                batches += 1
+                if on_batch is not None:
+                    on_batch(batch)
+        return batches
+
+    def hover(self, seconds: float) -> Generator:
+        """Process: hold position (still burns motion power)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        yield self.env.timeout(seconds)
+        self.account_motion(seconds)

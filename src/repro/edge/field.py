@@ -1,0 +1,121 @@
+"""The 2-D world the swarm operates over.
+
+Holds the stationary items of Scenario A (tennis balls on a baseball field)
+and the moving people of Scenario B (random-waypoint walkers). The camera
+model queries visibility against this world, which is what makes detection
+counts and deduplication pressure (the same person photographed by several
+drones) emerge from the simulation rather than being scripted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["FieldWorld", "Person"]
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class Person:
+    """A walker with a current position and waypoint."""
+
+    person_id: int
+    position: Point
+    waypoint: Point
+    speed_mps: float = 1.2
+
+
+class FieldWorld:
+    """A rectangle with stationary items and moving people."""
+
+    def __init__(self, width_m: float, height_m: float,
+                 rng: np.random.Generator):
+        if width_m <= 0 or height_m <= 0:
+            raise ValueError("field dimensions must be positive")
+        self.width_m = width_m
+        self.height_m = height_m
+        self._rng = rng
+        self.items: Dict[int, Point] = {}
+        self.people: Dict[int, Person] = {}
+        self._clock = 0.0
+
+    def _random_point(self) -> Point:
+        return (float(self._rng.uniform(0, self.width_m)),
+                float(self._rng.uniform(0, self.height_m)))
+
+    def place_items(self, count: int) -> None:
+        """Scatter ``count`` stationary items uniformly (Scenario A)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = len(self.items)
+        for index in range(start, start + count):
+            self.items[index] = self._random_point()
+
+    def place_people(self, count: int, speed_mps: float = 1.2) -> None:
+        """Scatter ``count`` walkers uniformly (Scenario B)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = len(self.people)
+        for index in range(start, start + count):
+            self.people[index] = Person(
+                person_id=index,
+                position=self._random_point(),
+                waypoint=self._random_point(),
+                speed_mps=speed_mps,
+            )
+
+    def advance(self, to_time: float) -> None:
+        """Move every person forward to simulation time ``to_time``."""
+        dt = to_time - self._clock
+        if dt < 0:
+            raise ValueError("world time cannot run backwards")
+        if dt == 0:
+            return
+        self._clock = to_time
+        for person in self.people.values():
+            remaining = dt * person.speed_mps
+            while remaining > 0:
+                dx = person.waypoint[0] - person.position[0]
+                dy = person.waypoint[1] - person.position[1]
+                distance = math.hypot(dx, dy)
+                if distance <= remaining:
+                    person.position = person.waypoint
+                    person.waypoint = self._random_point()
+                    remaining -= distance
+                    if distance == 0:
+                        break
+                else:
+                    fraction = remaining / distance
+                    person.position = (
+                        person.position[0] + fraction * dx,
+                        person.position[1] + fraction * dy)
+                    remaining = 0.0
+
+    def _in_footprint(self, point: Point, center: Point,
+                      width_m: float, depth_m: float) -> bool:
+        return (abs(point[0] - center[0]) <= width_m / 2 and
+                abs(point[1] - center[1]) <= depth_m / 2)
+
+    def visible_items(self, center: Point, width_m: float,
+                      depth_m: float) -> List[int]:
+        """Item ids inside an axis-aligned camera footprint."""
+        return [item_id for item_id, point in self.items.items()
+                if self._in_footprint(point, center, width_m, depth_m)]
+
+    def visible_people(self, center: Point, width_m: float,
+                       depth_m: float) -> List[int]:
+        return [p.person_id for p in self.people.values()
+                if self._in_footprint(p.position, center, width_m, depth_m)]
+
+    @property
+    def item_count(self) -> int:
+        return len(self.items)
+
+    @property
+    def people_count(self) -> int:
+        return len(self.people)

@@ -1,0 +1,126 @@
+"""Swarm container: devices, work regions, heartbeats, failure injection.
+
+The swarm owns the mapping from devices to field regions (initial equal
+partition, section 2.1) and runs the heartbeat protocol every device speaks
+(one beat per second, section 4.6). Failure injection schedules a device
+crash mid-mission so the controller-side fault tolerance (3 s timeout +
+repartitioning) can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..config import ControlConstants, PaperConstants
+from ..routing import Region, coverage_route, partition_field
+from ..sim import Environment, RandomStreams, Store
+from .device import EdgeDevice
+from .drone import Drone
+
+__all__ = ["Heartbeat", "Swarm", "build_drone_swarm"]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One liveness beat from a device."""
+
+    device_id: str
+    time: float
+    battery_fraction: float
+
+
+class Swarm:
+    """A fleet of edge devices plus their work assignment."""
+
+    def __init__(self, env: Environment, devices: List[EdgeDevice],
+                 control: Optional[ControlConstants] = None):
+        if not devices:
+            raise ValueError("a swarm needs at least one device")
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate device ids in swarm")
+        self.env = env
+        self.devices: Dict[str, EdgeDevice] = {d.device_id: d
+                                               for d in devices}
+        self.control = control or ControlConstants()
+        self.regions: Dict[str, List[Region]] = {}
+        #: Heartbeats flow into this store; the controller consumes them.
+        self.heartbeat_bus: Store = Store(env)
+        self._heartbeat_procs = []
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device(self, device_id: str) -> EdgeDevice:
+        found = self.devices.get(device_id)
+        if found is None:
+            raise KeyError(f"unknown device {device_id!r}")
+        return found
+
+    @property
+    def alive_devices(self) -> List[EdgeDevice]:
+        return [d for d in self.devices.values() if d.alive]
+
+    # -- work assignment ---------------------------------------------------
+    def assign_regions(self, width_m: float, height_m: float) -> None:
+        """Initial equal division of the field among all devices."""
+        tiles = partition_field(width_m, height_m, len(self.devices))
+        self.regions = {
+            device_id: [tile]
+            for device_id, tile in zip(sorted(self.devices), tiles)
+        }
+
+    def route_for(self, device_id: str, swath_m: float) -> List:
+        """Concatenated coverage route over the device's regions."""
+        if device_id not in self.regions:
+            raise KeyError(f"no region assigned to {device_id!r}")
+        waypoints = []
+        for region in self.regions[device_id]:
+            waypoints.extend(coverage_route(region, swath_m))
+        return waypoints
+
+    # -- heartbeats ------------------------------------------------------------
+    def start_heartbeats(self) -> None:
+        """Begin the 1 Hz heartbeat process for every device."""
+        for device in self.devices.values():
+            self._heartbeat_procs.append(
+                self.env.process(self._beat(device)))
+
+    def _beat(self, device: EdgeDevice) -> Generator:
+        while device.alive:
+            yield self.heartbeat_bus.put(Heartbeat(
+                device_id=device.device_id,
+                time=self.env.now,
+                battery_fraction=device.energy.remaining_fraction))
+            yield self.env.timeout(self.control.heartbeat_period_s)
+
+    # -- failure injection --------------------------------------------------
+    def fail_device_at(self, device_id: str, at_time: float) -> None:
+        """Schedule a crash of ``device_id`` at absolute time ``at_time``."""
+        device = self.device(device_id)
+
+        def killer() -> Generator:
+            delay = at_time - self.env.now
+            if delay < 0:
+                raise ValueError("failure time is in the past")
+            yield self.env.timeout(delay)
+            device.fail()
+
+        self.env.process(killer())
+
+
+def build_drone_swarm(env: Environment, constants: PaperConstants,
+                      streams: RandomStreams,
+                      strict_battery: bool = False,
+                      frame_mb: Optional[float] = None,
+                      fps: Optional[float] = None) -> Swarm:
+    """Build the drone swarm described by ``constants``."""
+    drones = [
+        Drone(env, f"drone{i:04d}", constants.drone,
+              rng=streams.stream(f"edge.drone{i}"),
+              strict_battery=strict_battery,
+              frame_mb=frame_mb, fps=fps)
+        for i in range(constants.drone.count)
+    ]
+    return Swarm(env, drones, control=constants.control)

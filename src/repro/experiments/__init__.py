@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper figure."""
+
+from .common import ExperimentResult
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+]

@@ -1,0 +1,63 @@
+"""CLI: ``python -m repro.experiments fig11`` regenerates one figure.
+
+``python -m repro.experiments --list`` enumerates the available figures;
+``python -m repro.experiments all`` runs every harness (slow);
+``--csv DIR`` additionally writes each figure's rows to ``DIR/<fig>.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+import sys
+import time
+
+from .common import ExperimentResult
+from .registry import experiment_ids, run_experiment
+
+
+def write_csv(result: ExperimentResult, directory: str) -> str:
+    """Write one figure's rows to ``directory/<figure>.csv``."""
+    target = pathlib.Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"{result.figure}.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+    return str(path)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate HiveMind paper figures on the simulator")
+    parser.add_argument("figure", nargs="?", default=None,
+                        help="figure id (e.g. fig11) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available figures")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each figure's rows to DIR")
+    args = parser.parse_args(argv)
+
+    if args.list or args.figure is None:
+        print("Available experiments:")
+        for figure in experiment_ids():
+            print(f"  {figure}")
+        return 0
+
+    figures = experiment_ids() if args.figure == "all" else [args.figure]
+    for figure in figures:
+        start = time.time()
+        result = run_experiment(figure, base_seed=args.seed)
+        print(result.render())
+        if args.csv:
+            print(f"[csv written to {write_csv(result, args.csv)}]")
+        print(f"[{figure} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

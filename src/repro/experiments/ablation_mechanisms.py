@@ -1,0 +1,160 @@
+"""Repository-specific micro-ablations of HiveMind's mechanisms.
+
+Beyond the paper's Fig 13 system-level ablation, these isolate three
+design choices section 4.3/4.6 argues for:
+
+- **Colocation** — HiveMind scheduler (child into parent's container)
+  vs stock placement, for a two-stage pipeline.
+- **Keep-alive** — idle-container lifetime sweep: too short forces cold
+  starts, long enough converges (the paper picks 10-30 s empirically).
+- **Straggler mitigation** — p90 duplicate launches vs none, under a
+  heavy-tailed service distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from ..cluster import Cluster
+from ..config import DEFAULT
+from ..core import StragglerMitigator
+from ..serverless import FunctionSpec, InvocationRequest, OpenWhiskPlatform
+from ..sim import Environment, RandomStreams
+from ..telemetry import MetricSeries
+from .common import ExperimentResult
+
+
+def run_colocation(n_chains: int = 120,
+                   base_seed: int = 0) -> ExperimentResult:
+    """Parent->child pipeline latency with and without colocation."""
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for scheduler in ("openwhisk", "hivemind"):
+        env = Environment()
+        cluster = Cluster(env, DEFAULT.cluster)
+        platform = OpenWhiskPlatform(
+            env, cluster, RandomStreams(base_seed),
+            scheduler=scheduler, keepalive_s=25.0)
+        spec = FunctionSpec("stage", image="pipeline-image")
+        series = MetricSeries(scheduler)
+        colocated = {"count": 0}
+
+        def chains() -> Generator:
+            for _ in range(n_chains):
+                start = env.now
+                parent = yield env.process(platform.invoke(
+                    InvocationRequest(spec, service_s=0.15,
+                                      output_mb=2.0)))
+                child = yield env.process(platform.invoke(
+                    InvocationRequest(spec, service_s=0.10,
+                                      parent=parent)))
+                series.add(env.now - start)
+                colocated["count"] += child.colocated
+                yield env.timeout(0.4)
+
+        env.run(env.process(chains()))
+        rows.append([scheduler, round(series.median * 1000, 1),
+                     round(series.p99 * 1000, 1), colocated["count"]])
+        data[scheduler] = {"median_s": series.median,
+                           "p99_s": series.p99,
+                           "colocated": colocated["count"]}
+    return ExperimentResult(
+        figure="ablation_colocation",
+        title="Two-stage pipeline latency (ms): scheduler colocation",
+        headers=["scheduler", "median_ms", "p99_ms", "colocated_children"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_keepalive(keepalives=(0.2, 1.0, 5.0, 20.0, 60.0),
+                  n_tasks: int = 150,
+                  base_seed: int = 0) -> ExperimentResult:
+    """Cold-start fraction and latency vs idle-container lifetime."""
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for keepalive in keepalives:
+        env = Environment()
+        cluster = Cluster(env, DEFAULT.cluster)
+        platform = OpenWhiskPlatform(
+            env, cluster, RandomStreams(base_seed),
+            keepalive_s=keepalive)
+        spec = FunctionSpec("job")
+        rng = RandomStreams(base_seed).stream("keepalive.gaps")
+        series = MetricSeries(str(keepalive))
+
+        def tasks() -> Generator:
+            for _ in range(n_tasks):
+                invocation = yield env.process(platform.invoke(
+                    InvocationRequest(spec, service_s=0.1)))
+                series.add(invocation.latency_s)
+                yield env.timeout(float(rng.exponential(2.0)))
+
+        env.run(env.process(tasks()))
+        cold_fraction = platform.cold_starts / max(
+            1, platform.cold_starts + platform.warm_starts)
+        rows.append([keepalive, round(100 * cold_fraction, 1),
+                     round(series.median * 1000, 1)])
+        data[str(keepalive)] = {"cold_fraction": cold_fraction,
+                                "median_s": series.median}
+    return ExperimentResult(
+        figure="ablation_keepalive",
+        title="Cold starts and latency vs idle-container keep-alive",
+        headers=["keepalive_s", "cold_start_pct", "median_ms"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_straggler(n_tasks: int = 320,
+                  base_seed: int = 0) -> ExperimentResult:
+    """Tail latency with and without p90 duplicate launches."""
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for mitigated in (False, True):
+        env = Environment()
+        cluster = Cluster(env, DEFAULT.cluster)
+        platform = OpenWhiskPlatform(
+            env, cluster, RandomStreams(base_seed), keepalive_s=30.0)
+        mitigator = (StragglerMitigator(env, platform, DEFAULT.control)
+                     if mitigated else None)
+        # One sick server: anything placed there runs 10x slower — the
+        # machine-induced stragglers the p90 mitigation targets.
+        platform.invokers[0].slow_factor = 10.0
+        spec = FunctionSpec("job")
+        series = MetricSeries(str(mitigated))
+        workers = 8
+
+        def worker() -> Generator:
+            for _ in range(n_tasks // workers):
+                request = InvocationRequest(spec, service_s=0.2,
+                                            colocate_with_parent=False)
+                if mitigator is not None:
+                    invocation = yield env.process(
+                        mitigator.invoke(request))
+                else:
+                    invocation = yield env.process(
+                        platform.invoke(request))
+                series.add(invocation.latency_s)
+                yield env.timeout(0.25)
+
+        procs = [env.process(worker()) for _ in range(workers)]
+        env.run(env.all_of(procs))
+        label = "mitigated" if mitigated else "baseline"
+        probation = platform.invokers[0].server.on_probation
+        rows.append([label, round(series.median * 1000, 1),
+                     round(series.p99 * 1000, 1),
+                     mitigator.duplicates_launched if mitigator else 0,
+                     probation])
+        data[label] = {"median_s": series.median, "p99_s": series.p99,
+                       "duplicates": (mitigator.duplicates_launched
+                                      if mitigator else 0),
+                       "sick_server_on_probation": probation}
+    return ExperimentResult(
+        figure="ablation_straggler",
+        title="Straggler mitigation: latency with/without p90 duplicates",
+        headers=["config", "median_ms", "p99_ms", "duplicates",
+                 "sick_on_probation"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,64 @@
+"""Shared experiment-harness utilities.
+
+Every figure module exposes ``run(options) -> ExperimentResult``. Results
+carry structured rows plus a rendered table so benchmarks can both assert
+on the numbers and print the same series the paper reports.
+
+Repeats default below the paper's (10x for jobs, 50x for scenarios) to keep
+the full harness runnable in minutes; pass ``repeats=...`` for more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..telemetry import render_table
+
+__all__ = ["ExperimentResult", "mean_over_seeds", "summarize_runs"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one figure's harness."""
+
+    figure: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    #: Free-form per-figure payloads (series, tallies) for assertions.
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows,
+                            title=f"{self.figure}: {self.title}")
+
+    def column(self, header: str) -> List[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Any) -> List[Any]:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r} in {self.figure}")
+
+    def cell(self, key: Any, header: str) -> Any:
+        return self.row_for(key)[self.headers.index(header)]
+
+
+def mean_over_seeds(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("no values")
+    return float(np.mean(values))
+
+
+def summarize_runs(run_factory: Callable[[int], Any],
+                   repeats: int, base_seed: int = 0) -> List[Any]:
+    """Run ``repeats`` replicas with distinct seeds."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    return [run_factory(base_seed + 1000 * replica)
+            for replica in range(repeats)]

@@ -1,0 +1,50 @@
+"""Fig 1: execution time and consumed battery for the treasure-hunt
+scenario (Scenario A) on real-scale (16) and simulated (1000) swarms,
+across Centralized IaaS, Centralized FaaS, Distributed Edge, and HiveMind.
+
+Expected shape (paper): HiveMind fastest and most battery-efficient at
+both scales; centralized systems degrade dramatically at 1000 drones
+(control-plane and static-reservation walls); distributed scales in
+execution time but burns the most battery of the scalable systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import SCENARIO_A
+from ..platforms import ScenarioRunner, platform_config
+from .common import ExperimentResult, mean_over_seeds, summarize_runs
+
+PLATFORM_ORDER = ("centralized_iaas", "centralized_faas",
+                  "distributed_edge", "hivemind")
+
+
+def run(repeats: int = 2, n_small: int = 16, n_large: int = 1000,
+        base_seed: int = 0) -> ExperimentResult:
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for n_devices in (n_small, n_large):
+        for name in PLATFORM_ORDER:
+            config = platform_config(name)
+            results = summarize_runs(
+                lambda seed: ScenarioRunner(
+                    config, SCENARIO_A, seed=seed,
+                    n_devices=n_devices).run(),
+                repeats, base_seed)
+            exec_time = mean_over_seeds(
+                [r.extras["makespan_s"] for r in results])
+            battery = mean_over_seeds(
+                [r.battery_summary()[0] for r in results])
+            rows.append([f"n={n_devices}:{name}", n_devices, name,
+                         round(exec_time, 1), round(battery, 1)])
+            data[f"{n_devices}:{name}"] = {
+                "exec_time_s": exec_time, "battery_pct": battery}
+    return ExperimentResult(
+        figure="fig01",
+        title="Treasure hunt: execution time and consumed battery",
+        headers=["key", "devices", "platform", "exec_time_s",
+                 "battery_pct"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,60 @@
+"""Fig 4: task-latency distributions, centralized cloud vs distributed edge.
+
+(a) Violin summaries (p5/p25/median/p75/p95) of per-task latency across
+S1-S10. Expected shape: centralized is faster and tighter for most jobs;
+S3 (drone detection) and S7 (weather analytics) are comparable on both
+tiers; S4 (obstacle avoidance) wins at the edge by skipping the network
+round trip.
+
+(b) Job-latency distributions for the two end-to-end scenarios (one sample
+per scenario repeat).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import SCENARIO_A, SCENARIO_B, all_apps
+from ..platforms import ScenarioRunner, SingleTierRunner, platform_config
+from .common import ExperimentResult, summarize_runs
+
+PLATFORMS = ("centralized_faas", "distributed_edge")
+
+
+def run(duration_s: float = 60.0, scenario_repeats: int = 3,
+        load_fraction: float = 0.6, base_seed: int = 0) -> ExperimentResult:
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for spec in all_apps():
+        for platform in PLATFORMS:
+            result = SingleTierRunner(
+                platform_config(platform), spec, seed=base_seed,
+                duration_s=duration_s, load_fraction=load_fraction).run()
+            summary = result.task_latencies.summary()
+            key = f"{spec.key}:{platform}"
+            rows.append([key,
+                         round(summary.p5 * 1000, 1),
+                         round(summary.p25 * 1000, 1),
+                         round(summary.median * 1000, 1),
+                         round(summary.p75 * 1000, 1),
+                         round(summary.p95 * 1000, 1)])
+            data[key] = summary
+    for scenario in (SCENARIO_A, SCENARIO_B):
+        for platform in PLATFORMS:
+            results = summarize_runs(
+                lambda seed: ScenarioRunner(
+                    platform_config(platform), scenario, seed=seed).run(),
+                scenario_repeats, base_seed)
+            makespans = sorted(r.extras["makespan_s"] for r in results)
+            key = f"{scenario.key}:{platform}"
+            median = makespans[len(makespans) // 2]
+            rows.append([key, round(min(makespans), 1), "", round(median, 1),
+                         "", round(max(makespans), 1)])
+            data[key] = {"makespans_s": makespans}
+    return ExperimentResult(
+        figure="fig04",
+        title="Task latency (ms) / job latency (s): centralized vs edge",
+        headers=["key", "p5", "p25", "median", "p75", "p95"],
+        rows=rows,
+        data=data,
+    )

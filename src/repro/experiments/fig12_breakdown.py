@@ -1,0 +1,69 @@
+"""Fig 12: latency breakdown — centralized cloud vs HiveMind.
+
+Expected shape: network acceleration + hybrid execution drop the network
+share from ~33% (centralized average) to under ~15%; management
+(scheduling + instantiation) and data-I/O shares also shrink; the
+execution share *grows* in HiveMind (some tasks run on slower edge
+devices), which is the deliberate trade for lower network traffic and
+better scalability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import SCENARIO_A, SCENARIO_B, all_apps
+from ..platforms import ScenarioRunner, SingleTierRunner, platform_config
+from .common import ExperimentResult
+
+PLATFORMS = ("centralized_faas", "hivemind")
+
+
+def _fractions(result) -> Dict[str, float]:
+    tail = result.breakdowns.fractions_at_percentile(99.0)
+    return tail
+
+
+def run(duration_s: float = 60.0, load_fraction: float = 0.75,
+        base_seed: int = 0) -> ExperimentResult:
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for spec in all_apps():
+        for platform in PLATFORMS:
+            result = SingleTierRunner(
+                platform_config(platform), spec, seed=base_seed,
+                duration_s=duration_s, load_fraction=load_fraction).run()
+            tail = _fractions(result)
+            key = f"{spec.key}:{platform}"
+            rows.append([key,
+                         round(100 * tail["network"], 1),
+                         round(100 * tail["management"], 1),
+                         round(100 * tail["data_io"], 1),
+                         round(100 * tail["execution"], 1)])
+            data[key] = {
+                "tail": tail,
+                "mean_network": result.breakdowns.mean_fraction("network"),
+            }
+    for scenario in (SCENARIO_A, SCENARIO_B):
+        for platform in PLATFORMS:
+            result = ScenarioRunner(
+                platform_config(platform), scenario, seed=base_seed).run()
+            tail = _fractions(result)
+            key = f"{scenario.key}:{platform}"
+            rows.append([key,
+                         round(100 * tail["network"], 1),
+                         round(100 * tail["management"], 1),
+                         round(100 * tail["data_io"], 1),
+                         round(100 * tail["execution"], 1)])
+            data[key] = {
+                "tail": tail,
+                "mean_network": result.breakdowns.mean_fraction("network"),
+            }
+    return ExperimentResult(
+        figure="fig12",
+        title="Tail-latency breakdown (%): centralized vs HiveMind",
+        headers=["key", "network_pct", "mgmt_pct", "data_io_pct",
+                 "exec_pct"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,71 @@
+"""Fig 13: incremental benefit of each HiveMind technique (ablation).
+
+Configurations, mirroring the paper's bars:
+
+- ``hivemind``               — the full system.
+- ``centralized_net_accel``  — all tasks in the cloud + RPC acceleration.
+- ``centralized_net_remote`` — the above + remote-memory acceleration.
+- ``distributed_edge``       — all tasks at the edge, no acceleration.
+- ``distributed_net_accel``  — edge execution + accelerated result upload.
+- ``hivemind_no_accel``      — hybrid placement without FPGA fabrics.
+
+Expected shape: no single technique suffices. Network acceleration helps
+the centralized system but it remains behind HiveMind; remote memory adds
+a little more; the distributed system barely benefits from acceleration
+(it hardly uses the network); HiveMind-without-acceleration keeps the
+hybrid-placement benefit but reverts to software networking overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import SCENARIO_A, SCENARIO_B, all_apps
+from ..platforms import ScenarioRunner, SingleTierRunner, platform_config
+from .common import ExperimentResult
+
+ABLATION_ORDER = (
+    "hivemind",
+    "centralized_net_accel",
+    "centralized_net_remote",
+    "distributed_edge",
+    "distributed_net_accel",
+    "hivemind_no_accel",
+)
+
+
+def run(duration_s: float = 60.0, load_fraction: float = 0.6,
+        base_seed: int = 0, include_scenarios: bool = True
+        ) -> ExperimentResult:
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for spec in all_apps():
+        for name in ABLATION_ORDER:
+            result = SingleTierRunner(
+                platform_config(name), spec, seed=base_seed,
+                duration_s=duration_s, load_fraction=load_fraction).run()
+            key = f"{spec.key}:{name}"
+            rows.append([key, round(result.median_latency_s * 1000, 1),
+                         round(result.tail_latency_s * 1000, 1)])
+            data[key] = {"median_s": result.median_latency_s,
+                         "p99_s": result.tail_latency_s}
+    if include_scenarios:
+        # The paper's right panel reports per-task latency for the
+        # scenarios (the mission pipeline's batches), not the makespan.
+        for scenario in (SCENARIO_A, SCENARIO_B):
+            for name in ABLATION_ORDER:
+                result = ScenarioRunner(
+                    platform_config(name), scenario, seed=base_seed).run()
+                key = f"{scenario.key}:{name}"
+                rows.append([key,
+                             round(result.median_latency_s * 1000, 1),
+                             round(result.tail_latency_s * 1000, 1)])
+                data[key] = {"median_s": result.median_latency_s,
+                             "p99_s": result.tail_latency_s}
+    return ExperimentResult(
+        figure="fig13",
+        title="Ablation: median/p99 latency (ms) per configuration",
+        headers=["key", "median_ms", "p99_ms"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,59 @@
+"""Fig 14: battery and network-bandwidth consumption across platforms.
+
+(a) Consumed battery (mean bars, worst-case markers): distributed burns
+the most (on-board compute); HiveMind the least (offloads heavy compute
+*and* avoids excessive transfer); S3/S4 are the exceptions where HiveMind
+draws slightly more than centralized (they don't benefit from splitting).
+
+(b) Wireless bandwidth (mean bars, p99 markers): centralized highest,
+distributed lowest, HiveMind in between with a small mean-to-tail gap
+(part of its predictability story).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import SCENARIO_A, SCENARIO_B, all_apps
+from ..platforms import ScenarioRunner, SingleTierRunner, platform_config
+from .common import ExperimentResult
+
+PLATFORMS = ("centralized_faas", "distributed_edge", "hivemind")
+
+
+def run(duration_s: float = 60.0, load_fraction: float = 0.6,
+        base_seed: int = 0) -> ExperimentResult:
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+
+    def add(key: str, result) -> None:
+        battery_mean, battery_worst = result.battery_summary()
+        bw_mean, bw_tail = result.bandwidth_summary()
+        rows.append([key, round(battery_mean, 1), round(battery_worst, 1),
+                     round(bw_mean, 1), round(bw_tail, 1)])
+        data[key] = {
+            "battery_mean_pct": battery_mean,
+            "battery_worst_pct": battery_worst,
+            "bandwidth_mean_mbs": bw_mean,
+            "bandwidth_p99_mbs": bw_tail,
+        }
+
+    for spec in all_apps():
+        for platform in PLATFORMS:
+            result = SingleTierRunner(
+                platform_config(platform), spec, seed=base_seed,
+                duration_s=duration_s, load_fraction=load_fraction).run()
+            add(f"{spec.key}:{platform}", result)
+    for scenario in (SCENARIO_A, SCENARIO_B):
+        for platform in PLATFORMS:
+            result = ScenarioRunner(
+                platform_config(platform), scenario, seed=base_seed).run()
+            add(f"{scenario.key}:{platform}", result)
+    return ExperimentResult(
+        figure="fig14",
+        title="Battery (%) and wireless bandwidth (MB/s) per platform",
+        headers=["key", "battery_mean_pct", "battery_worst_pct",
+                 "bw_mean_mbs", "bw_p99_mbs"],
+        rows=rows,
+        data=data,
+    )

@@ -1,0 +1,47 @@
+"""Fig 16: HiveMind on the robotic-car swarm (treasure hunt + maze).
+
+Expected shape: HiveMind delivers the best and most predictable job
+latency on both scenarios; the distributed configuration is the slowest
+(the Pi still loses to the cloud on OCR-class work); battery consumption
+follows the same order, with smaller spreads than the drone swarm since
+cars are far less power-constrained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import CAR_MAZE, TREASURE_HUNT
+from ..platforms import CarScenarioRunner, platform_config
+from .common import ExperimentResult
+
+PLATFORMS = ("centralized_faas", "distributed_edge", "hivemind")
+
+
+def run(base_seed: int = 0) -> ExperimentResult:
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for scenario in (TREASURE_HUNT, CAR_MAZE):
+        for platform in PLATFORMS:
+            result = CarScenarioRunner(
+                platform_config(platform), scenario, seed=base_seed).run()
+            jobs = result.extras["job_latencies"]
+            battery_mean, battery_worst = result.battery_summary()
+            key = f"{scenario.key}:{platform}"
+            rows.append([key, round(jobs.median, 1), round(jobs.p99, 1),
+                         round(battery_mean, 2), round(battery_worst, 2)])
+            data[key] = {
+                "job_median_s": jobs.median,
+                "job_p99_s": jobs.p99,
+                "battery_mean_pct": battery_mean,
+                "battery_worst_pct": battery_worst,
+                "phase_median_s": result.task_latencies.median,
+            }
+    return ExperimentResult(
+        figure="fig16",
+        title="Robotic cars: job latency (s) and battery (%)",
+        headers=["key", "job_median_s", "job_p99_s", "battery_mean_pct",
+                 "battery_worst_pct"],
+        rows=rows,
+        data=data,
+    )

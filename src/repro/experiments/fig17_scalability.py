@@ -1,0 +1,104 @@
+"""Fig 17: HiveMind's scalability.
+
+(a) Wireless bandwidth and tail (job) latency for both scenarios on
+HiveMind as frame resolution rises (0.5-8 MB at 8 fps, plus 8 MB at 16 and
+32 fps). Expected shape: the on-board filter bounds what ships upstream,
+so bandwidth grows sublinearly and latency stays flat — no saturation even
+at maximum resolution and frame rate (where the centralized system of
+Fig 3b collapsed).
+
+(b) Bandwidth and tail latency as the (simulated) swarm grows from 16
+toward thousands of drones, field and access network scaled proportionally
+while the backend cluster stays fixed. Expected shape: HiveMind's
+bandwidth grows sublinearly in devices and its latency stays near-flat,
+versus the centralized system's explosion (cf. Fig 1 bottom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps import SCENARIO_A, SCENARIO_B
+from ..platforms import ScenarioRunner, platform_config
+from .common import ExperimentResult
+
+RESOLUTIONS: Sequence[Tuple[float, float]] = (
+    (0.5, 8), (1.0, 8), (2.0, 8), (4.0, 8), (8.0, 8), (8.0, 16), (8.0, 32))
+
+
+def run_resolution(base_seed: int = 0) -> ExperimentResult:
+    """Fig 17a."""
+    config = platform_config("hivemind")
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for scenario in (SCENARIO_A, SCENARIO_B):
+        for frame_mb, fps in RESOLUTIONS:
+            result = ScenarioRunner(
+                config, scenario, seed=base_seed,
+                frame_mb=frame_mb, fps=fps).run()
+            bw_mean, bw_tail = result.bandwidth_summary()
+            tail_s = result.task_latencies.p99
+            key = f"{scenario.key}:{frame_mb}MB@{int(fps)}fps"
+            rows.append([key, round(bw_mean, 1),
+                         round(tail_s, 2),
+                         round(result.extras["makespan_s"], 1)])
+            data[key] = {"bandwidth_mbs": bw_mean, "tail_s": tail_s,
+                         "makespan_s": result.extras["makespan_s"]}
+    return ExperimentResult(
+        figure="fig17a",
+        title="HiveMind bandwidth/latency vs resolution",
+        headers=["key", "bw_mean_mbs", "task_p99_s", "makespan_s"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run_swarm_size(sizes: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
+                   base_seed: int = 0,
+                   include_centralized_upto: int = 256
+                   ) -> ExperimentResult:
+    """Fig 17b (the paper sweeps to 8k; default here caps at 1k for
+    runtime — pass a larger ``sizes`` for the full sweep)."""
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for scenario in (SCENARIO_A, SCENARIO_B):
+        for n_devices in sizes:
+            result = ScenarioRunner(
+                platform_config("hivemind"), scenario, seed=base_seed,
+                n_devices=n_devices).run()
+            bw_mean, _ = result.bandwidth_summary()
+            key = f"{scenario.key}:hivemind:{n_devices}"
+            rows.append([key, n_devices, round(bw_mean, 1),
+                         round(result.task_latencies.p99, 2),
+                         round(result.extras["makespan_s"], 1)])
+            data[key] = {
+                "bandwidth_mbs": bw_mean,
+                "tail_s": result.task_latencies.p99,
+                "makespan_s": result.extras["makespan_s"],
+            }
+            if n_devices <= include_centralized_upto:
+                comparison = ScenarioRunner(
+                    platform_config("centralized_faas"), scenario,
+                    seed=base_seed, n_devices=n_devices).run()
+                bw_centralized, _ = comparison.bandwidth_summary()
+                ckey = f"{scenario.key}:centralized:{n_devices}"
+                rows.append([ckey, n_devices, round(bw_centralized, 1),
+                             round(comparison.task_latencies.p99, 2),
+                             round(comparison.extras["makespan_s"], 1)])
+                data[ckey] = {
+                    "bandwidth_mbs": bw_centralized,
+                    "tail_s": comparison.task_latencies.p99,
+                    "makespan_s": comparison.extras["makespan_s"],
+                }
+    return ExperimentResult(
+        figure="fig17b",
+        title="Scalability with swarm size",
+        headers=["key", "devices", "bw_mean_mbs", "task_p99_s",
+                 "makespan_s"],
+        rows=rows,
+        data=data,
+    )
+
+
+def run(base_seed: int = 0) -> ExperimentResult:
+    return run_resolution(base_seed=base_seed)

@@ -1,0 +1,59 @@
+"""Registry of every figure's harness (the per-experiment index)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    fig01_treasure_hunt,
+    fig03_network_overheads,
+    fig04_centralized_vs_distributed,
+    fig05_serverless_opportunities,
+    fig06_serverless_challenges,
+    fig11_performance,
+    fig12_breakdown,
+    fig13_ablation,
+    fig14_power_bandwidth,
+    fig15_learning,
+    fig16_cars,
+    fig17_scalability,
+    fig18_validation,
+)
+from .common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_treasure_hunt.run,
+    "fig03a": fig03_network_overheads.run_breakdown,
+    "fig03b": fig03_network_overheads.run_saturation,
+    "fig04": fig04_centralized_vs_distributed.run,
+    "fig05a": fig05_serverless_opportunities.run_concurrency,
+    "fig05b": fig05_serverless_opportunities.run_elasticity,
+    "fig05c": fig05_serverless_opportunities.run_fault_tolerance,
+    "fig06a": fig06_serverless_challenges.run_variability,
+    "fig06b": fig06_serverless_challenges.run_breakdown,
+    "fig06c": fig06_serverless_challenges.run_sharing,
+    "fig11": fig11_performance.run,
+    "fig12": fig12_breakdown.run,
+    "fig13": fig13_ablation.run,
+    "fig14": fig14_power_bandwidth.run,
+    "fig15": fig15_learning.run,
+    "fig16": fig16_cars.run,
+    "fig17a": fig17_scalability.run_resolution,
+    "fig17b": fig17_scalability.run_swarm_size,
+    "fig18": fig18_validation.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(figure: str, **options) -> ExperimentResult:
+    """Run one figure's harness by id (e.g. ``"fig11"``)."""
+    runner = EXPERIMENTS.get(figure)
+    if runner is None:
+        raise KeyError(
+            f"unknown experiment {figure!r}; valid: {experiment_ids()}")
+    return runner(**options)

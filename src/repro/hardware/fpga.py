@@ -1,0 +1,104 @@
+"""FPGA fabric model (paper sections 4.4-4.5).
+
+Models the Arria 10 GX1150 attached to the host Xeon over the UPI memory
+interconnect. The fabric is statically partitioned between the two
+acceleration processes — remote memory access (18 % of LUTs) and RPC
+offload (24 % of LUTs) — leaving headroom, exactly as the paper reports.
+:class:`FpgaFabric` does the area accounting and owns the two engines'
+reconfiguration state (see :mod:`repro.hardware.reconfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..config import AccelerationConstants
+
+__all__ = ["FpgaRegion", "FpgaFabric"]
+
+
+@dataclass
+class FpgaRegion:
+    """A statically allocated partition of the fabric."""
+
+    name: str
+    lut_count: int
+    bitstream: str  # paper Fig 9: "blue" = RPC flow, "green" = networking
+
+
+class FpgaFabric:
+    """Area bookkeeping for one FPGA board."""
+
+    def __init__(self, constants: AccelerationConstants = None):
+        self.constants = constants or AccelerationConstants()
+        self._regions: Dict[str, FpgaRegion] = {}
+        self.allocate_region(
+            "remote_memory",
+            int(self.constants.lut_total *
+                self.constants.remote_mem_lut_fraction),
+            bitstream="blue")
+        self.allocate_region(
+            "rpc_offload",
+            int(self.constants.lut_total * self.constants.rpc_lut_fraction),
+            bitstream="green")
+
+    def allocate_region(self, name: str, lut_count: int,
+                        bitstream: str) -> FpgaRegion:
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if lut_count <= 0:
+            raise ValueError("region must use at least one LUT")
+        if self.used_luts + lut_count > self.constants.lut_total:
+            raise ValueError(
+                f"region {name!r} ({lut_count} LUTs) does not fit; "
+                f"{self.free_luts} free")
+        region = FpgaRegion(name, lut_count, bitstream)
+        self._regions[name] = region
+        return region
+
+    def release_region(self, name: str) -> None:
+        if name not in self._regions:
+            raise KeyError(f"unknown region {name!r}")
+        del self._regions[name]
+
+    def region(self, name: str) -> FpgaRegion:
+        found = self._regions.get(name)
+        if found is None:
+            raise KeyError(f"unknown region {name!r}")
+        return found
+
+    @property
+    def used_luts(self) -> int:
+        return sum(r.lut_count for r in self._regions.values())
+
+    @property
+    def free_luts(self) -> int:
+        return self.constants.lut_total - self.used_luts
+
+    @property
+    def utilization(self) -> float:
+        return self.used_luts / self.constants.lut_total
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions
+
+    def repartition(self, env, name: str, lut_count: int):
+        """Process: dynamically resize one region (paper section 4.5:
+        "dynamic partitioning could be supported if needed").
+
+        Resizing a region loads a new partial bitstream — a *hard*
+        reconfiguration, seconds of downtime — so callers should treat
+        this as a rare, coarse-grained control action. Returns the new
+        region record.
+        """
+        region = self.region(name)
+        if lut_count <= 0:
+            raise ValueError("region must use at least one LUT")
+        if self.used_luts - region.lut_count + lut_count > \
+                self.constants.lut_total:
+            raise ValueError(
+                f"resize of {name!r} to {lut_count} LUTs does not fit")
+        yield env.timeout(self.constants.hard_reconfig_s)
+        self._regions[name] = FpgaRegion(name, lut_count, region.bitstream)
+        return self._regions[name]

@@ -1,0 +1,117 @@
+"""FPGA reconfiguration control (paper section 4.5).
+
+Reconfiguration is split in two tiers:
+
+- **Hard** reconfiguration — coarse control decisions: the CPU-NIC interface
+  protocol and the transport layer (TCP or UDP). Requires a (partial)
+  bitstream load, seconds of downtime.
+- **Soft** reconfiguration — soft register files accessible from the host
+  over PCIe: CCI-P batch size, transmit/receive queue provisioning, queue
+  number and size, number of active RPC flows, and the load-balancing
+  scheme. Microseconds, done online per application.
+
+:class:`ReconfigController` validates and times both, and keeps the current
+configuration so the harness can assert what a deployment negotiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..config import AccelerationConstants
+from ..sim import Environment
+
+__all__ = ["HardConfig", "SoftConfig", "ReconfigController"]
+
+VALID_INTERFACES = ("ccip", "mmio")
+VALID_TRANSPORTS = ("tcp", "udp")
+VALID_LB_SCHEMES = ("round_robin", "flow_hash", "least_loaded")
+
+
+@dataclass(frozen=True)
+class HardConfig:
+    """Coarse-grained fabric configuration (bitstream-level)."""
+
+    interface: str = "ccip"
+    transport: str = "tcp"
+
+    def __post_init__(self):
+        if self.interface not in VALID_INTERFACES:
+            raise ValueError(f"unknown CPU-NIC interface {self.interface!r}")
+        if self.transport not in VALID_TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}")
+
+
+@dataclass(frozen=True)
+class SoftConfig:
+    """Register-file configuration, tunable online per application."""
+
+    ccip_batch_size: int = 4
+    tx_queues: int = 8
+    rx_queues: int = 8
+    queue_depth: int = 256
+    active_rpc_flows: int = 64
+    load_balance: str = "round_robin"
+
+    def __post_init__(self):
+        if self.ccip_batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        if self.tx_queues <= 0 or self.rx_queues <= 0:
+            raise ValueError("queue counts must be positive")
+        if self.queue_depth <= 0:
+            raise ValueError("queue depth must be positive")
+        if self.active_rpc_flows <= 0:
+            raise ValueError("active flows must be positive")
+        if self.load_balance not in VALID_LB_SCHEMES:
+            raise ValueError(f"unknown LB scheme {self.load_balance!r}")
+
+
+class ReconfigController:
+    """Applies hard/soft reconfigurations with their respective costs."""
+
+    def __init__(self, env: Environment,
+                 constants: Optional[AccelerationConstants] = None):
+        self.env = env
+        self.constants = constants or AccelerationConstants()
+        self.hard = HardConfig()
+        self.soft = SoftConfig()
+        self.hard_reconfigs = 0
+        self.soft_reconfigs = 0
+
+    def apply_hard(self, config: HardConfig) -> Generator:
+        """Process: load a new bitstream-level configuration."""
+        if config != self.hard:
+            yield self.env.timeout(self.constants.hard_reconfig_s)
+            self.hard = config
+            self.hard_reconfigs += 1
+        return self.hard
+
+    def apply_soft(self, config: SoftConfig) -> Generator:
+        """Process: write the soft register file (online, microseconds)."""
+        if config != self.soft:
+            yield self.env.timeout(self.constants.soft_reconfig_s)
+            self.soft = config
+            self.soft_reconfigs += 1
+        return self.soft
+
+    def tune_for_payload(self, payload_mb: float) -> SoftConfig:
+        """Pick buffer provisioning for an application's payload size.
+
+        Buffer sizes are configured per application, online (section 4.5):
+        small-RPC apps get many shallow queues and large batches; bulk apps
+        get fewer, deeper queues.
+        """
+        if payload_mb < 0:
+            raise ValueError("payload must be non-negative")
+        if payload_mb < 0.01:
+            return SoftConfig(ccip_batch_size=16, tx_queues=16, rx_queues=16,
+                              queue_depth=128, active_rpc_flows=128,
+                              load_balance="flow_hash")
+        if payload_mb < 1.0:
+            return SoftConfig(ccip_batch_size=8, tx_queues=8, rx_queues=8,
+                              queue_depth=256, active_rpc_flows=64,
+                              load_balance="round_robin")
+        return SoftConfig(ccip_batch_size=2, tx_queues=4, rx_queues=4,
+                          queue_depth=1024, active_rpc_flows=16,
+                          load_balance="least_loaded")

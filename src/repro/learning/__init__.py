@@ -1,0 +1,15 @@
+"""Learning substrate: embeddings, recognition, dedup, continuous learning."""
+
+from .accuracy import DetectionTally
+from .classifier import DeduplicationEngine, NearestCentroidClassifier
+from .embeddings import IdentitySpace
+from .retraining import OnlineRecognizer, RetrainingMode
+
+__all__ = [
+    "IdentitySpace",
+    "NearestCentroidClassifier",
+    "DeduplicationEngine",
+    "DetectionTally",
+    "RetrainingMode",
+    "OnlineRecognizer",
+]

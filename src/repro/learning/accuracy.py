@@ -1,0 +1,57 @@
+"""Detection accuracy bookkeeping (Fig 15's correct / FN / FP bars)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DetectionTally"]
+
+
+@dataclass
+class DetectionTally:
+    """Counts of recognition outcomes."""
+
+    correct: int = 0
+    false_negatives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+
+    def record_correct(self) -> None:
+        self.correct += 1
+
+    def record_false_negative(self) -> None:
+        self.false_negatives += 1
+
+    def record_false_positive(self) -> None:
+        self.false_positives += 1
+
+    def record_true_negative(self) -> None:
+        self.true_negatives += 1
+
+    @property
+    def decisions(self) -> int:
+        """Decisions about true sightings + clutter matches (the Fig 15
+        denominator: correct + FN + FP)."""
+        return self.correct + self.false_negatives + self.false_positives
+
+    def _percent(self, count: int) -> float:
+        if self.decisions == 0:
+            raise ValueError("no detection decisions recorded")
+        return 100.0 * count / self.decisions
+
+    @property
+    def correct_pct(self) -> float:
+        return self._percent(self.correct)
+
+    @property
+    def false_negative_pct(self) -> float:
+        return self._percent(self.false_negatives)
+
+    @property
+    def false_positive_pct(self) -> float:
+        return self._percent(self.false_positives)
+
+    def as_row(self) -> "tuple[float, float, float]":
+        """(correct%, FN%, FP%) — one Fig 15 bar group."""
+        return (self.correct_pct, self.false_negative_pct,
+                self.false_positive_pct)

@@ -1,0 +1,127 @@
+"""Nearest-centroid recognition and embedding-space deduplication.
+
+- :class:`NearestCentroidClassifier` — the recognition model: maintains a
+  centroid *estimate* per identity and classifies an embedding to the
+  nearest estimate within an acceptance radius (else "unknown"). Estimates
+  improve as labeled observations accumulate — the hook continuous learning
+  (Fig 15) exploits.
+- :class:`DeduplicationEngine` — S5/Scenario B: greedy threshold clustering
+  of face embeddings across devices to count unique people.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["NearestCentroidClassifier", "DeduplicationEngine"]
+
+
+class NearestCentroidClassifier:
+    """Incremental nearest-centroid model with an acceptance radius."""
+
+    def __init__(self, dim: int, accept_radius: float = 0.8):
+        if dim <= 0:
+            raise ValueError("dimension must be positive")
+        if accept_radius <= 0:
+            raise ValueError("acceptance radius must be positive")
+        self.dim = dim
+        self.accept_radius = accept_radius
+        self._sums: Dict[int, np.ndarray] = {}
+        self._counts: Dict[int, int] = {}
+        # Cached (identities, centroid-matrix) for vectorized predict;
+        # invalidated on every add_observation.
+        self._matrix_ids: list = []
+        self._matrix: Optional[np.ndarray] = None
+
+    @property
+    def known_identities(self) -> List[int]:
+        return sorted(self._sums)
+
+    def observations_of(self, identity: int) -> int:
+        return self._counts.get(identity, 0)
+
+    def add_observation(self, identity: int,
+                        embedding: np.ndarray) -> None:
+        """Fold one labeled observation into the identity's estimate."""
+        embedding = np.asarray(embedding, dtype=float)
+        if embedding.shape != (self.dim,):
+            raise ValueError(
+                f"embedding shape {embedding.shape} != ({self.dim},)")
+        if identity in self._sums:
+            self._sums[identity] = self._sums[identity] + embedding
+            self._counts[identity] += 1
+        else:
+            self._sums[identity] = embedding.copy()
+            self._counts[identity] = 1
+        self._matrix = None
+
+    def centroid_estimate(self, identity: int) -> np.ndarray:
+        if identity not in self._sums:
+            raise KeyError(f"unknown identity {identity}")
+        return self._sums[identity] / self._counts[identity]
+
+    def _centroid_matrix(self) -> Optional[np.ndarray]:
+        if not self._sums:
+            return None
+        if self._matrix is None:
+            self._matrix_ids = sorted(self._sums)
+            self._matrix = np.stack([
+                self._sums[i] / self._counts[i] for i in self._matrix_ids])
+        return self._matrix
+
+    def predict(self, embedding: np.ndarray) -> Optional[int]:
+        """Nearest identity within the acceptance radius, else None."""
+        matrix = self._centroid_matrix()
+        if matrix is None:
+            return None
+        embedding = np.asarray(embedding, dtype=float)
+        distances = np.linalg.norm(matrix - embedding, axis=1)
+        best = int(np.argmin(distances))
+        if distances[best] > self.accept_radius:
+            return None
+        return self._matrix_ids[best]
+
+
+class DeduplicationEngine:
+    """Counts unique entities from embeddings via threshold clustering.
+
+    Greedy: an embedding joins the first cluster whose running centroid is
+    within ``merge_radius``; otherwise it founds a new cluster. The unique
+    count is the number of clusters — Scenario B's "number of unique people".
+    """
+
+    def __init__(self, merge_radius: float = 0.8):
+        if merge_radius <= 0:
+            raise ValueError("merge radius must be positive")
+        self.merge_radius = merge_radius
+        self._sums: List[np.ndarray] = []
+        self._counts: List[int] = []
+        self.observations = 0
+
+    def add(self, embedding: np.ndarray) -> int:
+        """Assign the embedding to a cluster; returns the cluster index."""
+        embedding = np.asarray(embedding, dtype=float)
+        self.observations += 1
+        for index in range(len(self._sums)):
+            centroid = self._sums[index] / self._counts[index]
+            if float(np.linalg.norm(centroid - embedding)) <= \
+                    self.merge_radius:
+                self._sums[index] = self._sums[index] + embedding
+                self._counts[index] += 1
+                return index
+        self._sums.append(embedding.copy())
+        self._counts.append(1)
+        return len(self._sums) - 1
+
+    def add_all(self, embeddings: Sequence[np.ndarray]) -> None:
+        for embedding in embeddings:
+            self.add(embedding)
+
+    @property
+    def unique_count(self) -> int:
+        return len(self._sums)
+
+    def cluster_sizes(self) -> List[int]:
+        return list(self._counts)

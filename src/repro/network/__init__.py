@@ -1,0 +1,20 @@
+"""Network substrate: links, wireless access, cluster fabric, RPC transports."""
+
+from .link import Link
+from .rpc import EdgeCloudRpc, RpcResult, SoftwareClusterRpc
+from .switch import ClusterNetwork, ToRSwitch
+from .topology import Fabric, build_fabric
+from .wireless import AccessPoint, WirelessNetwork
+
+__all__ = [
+    "Link",
+    "AccessPoint",
+    "WirelessNetwork",
+    "ToRSwitch",
+    "ClusterNetwork",
+    "RpcResult",
+    "EdgeCloudRpc",
+    "SoftwareClusterRpc",
+    "Fabric",
+    "build_fabric",
+]

@@ -1,0 +1,99 @@
+"""Point-to-point serialized links.
+
+A :class:`Link` is a one-way channel with finite bandwidth and a fixed
+propagation/processing latency. Transfers serialize through the link FIFO,
+so offered load beyond capacity queues — this is what produces the
+saturation knees in Figs 3b and 17. Random loss is modeled as an expected
+retransmission inflation of the serialization time (adequate for the
+throughput/latency shapes the paper reports; we do not model per-packet
+ARQ state).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..sim import Environment, Resource
+from ..telemetry import BandwidthMeter
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One-way channel: FIFO serialization at ``bandwidth_mbs`` + latency."""
+
+    def __init__(self, env: Environment, name: str, bandwidth_mbs: float,
+                 latency_s: float = 0.0, loss_rate: float = 0.0,
+                 meter: Optional[BandwidthMeter] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 contention_penalty: float = 0.0,
+                 max_collapse: float = 2.5):
+        if bandwidth_mbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss rate must be in [0, 1)")
+        if contention_penalty < 0 or max_collapse < 1:
+            raise ValueError("invalid contention parameters")
+        self.env = env
+        self.name = name
+        self.bandwidth_mbs = bandwidth_mbs
+        self.latency_s = latency_s
+        self.loss_rate = loss_rate
+        self.meter = meter
+        self._rng = rng
+        #: CSMA congestion collapse: with many stations backlogged the
+        #: effective goodput degrades (collisions, exponential backoff).
+        #: Each queued transfer inflates service by this fraction, capped
+        #: at ``max_collapse``. Zero for wired links.
+        self.contention_penalty = contention_penalty
+        self.max_collapse = max_collapse
+        self._channel = Resource(env, capacity=1)
+        self._busy_s = 0.0
+
+    def serialization_time(self, megabytes: float) -> float:
+        """Time on the wire for ``megabytes``, including expected loss."""
+        base = megabytes / self.bandwidth_mbs
+        if self.loss_rate:
+            base /= (1.0 - self.loss_rate)
+        return base
+
+    def transfer(self, megabytes: float) -> Generator:
+        """Process: queue for the link, serialize, then propagate.
+
+        Yields until the payload is fully delivered; returns the total
+        seconds the transfer took (queueing + serialization + latency).
+        """
+        if megabytes < 0:
+            raise ValueError("megabytes must be non-negative")
+        start = self.env.now
+        backlog = self.queue_length
+        with self._channel.request() as grant:
+            yield grant
+            service = self.serialization_time(megabytes)
+            if self._rng is not None and self.loss_rate:
+                # Jitter the retransmission inflation around its mean.
+                retries = self._rng.geometric(1.0 - self.loss_rate) - 1
+                service = (megabytes / self.bandwidth_mbs) * (1 + retries)
+            if self.contention_penalty:
+                service *= min(self.max_collapse,
+                               1.0 + self.contention_penalty * backlog)
+            self._busy_s += service
+            yield self.env.timeout(service)
+        yield self.env.timeout(self.latency_s)
+        if self.meter is not None:
+            self.meter.record(self.env.now, megabytes)
+        return self.env.now - start
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._channel.queue)
+
+    def busy_fraction(self, horizon_s: float) -> float:
+        """Fraction of ``horizon_s`` the link spent serializing."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return min(1.0, self._busy_s / horizon_s)

@@ -1,0 +1,122 @@
+"""RPC transports.
+
+Two RPC paths exist in the paper's system:
+
+- **Edge <-> cloud** (Apache Thrift over TCP/IP over WiFi): sensor payloads
+  up, responses/route updates down. Modeled by :class:`EdgeCloudRpc`.
+- **Server <-> server** inside the cluster: either the kernel TCP/IP stack
+  (:class:`SoftwareClusterRpc`, ~tens of microseconds of per-RPC CPU cost)
+  or HiveMind's FPGA offload (see :mod:`repro.hardware.rpc_accel`, 2.1 us
+  RTT). Both expose the same ``call`` coroutine so the serverless layer can
+  swap them.
+
+A call returns :class:`RpcResult` with the wall-clock split the breakdown
+accounting needs (wire vs. per-call processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..config import ClusterConstants
+from ..sim import Environment
+from .switch import ClusterNetwork
+from .wireless import WirelessNetwork
+
+__all__ = ["RpcResult", "EdgeCloudRpc", "SoftwareClusterRpc"]
+
+
+@dataclass(frozen=True)
+class RpcResult:
+    """Timing of a completed RPC."""
+
+    total_s: float
+    wire_s: float
+    processing_s: float
+    request_mb: float
+    response_mb: float
+
+
+class EdgeCloudRpc:
+    """Thrift-style RPC between an edge device and the backend cloud.
+
+    The HiveMind compiler generates these stubs for tasks that may run at
+    the edge (section 4.1); serialization cost is charged per call on both
+    ends.
+    """
+
+    #: Per-call marshal/unmarshal + kernel stack cost at each end (calibrated
+    #: for Thrift compact protocol on the A8 / Xeon pair).
+    EDGE_PROC_S = 2.4e-3
+    CLOUD_PROC_S = 0.12e-3
+    PER_MB_MARSHAL_S = 0.9e-3
+
+    def __init__(self, env: Environment, wireless: WirelessNetwork):
+        self.env = env
+        self.wireless = wireless
+
+    def call(self, device_id: str, request_mb: float,
+             response_mb: float) -> Generator:
+        """Process: device-initiated RPC; returns :class:`RpcResult`."""
+        start = self.env.now
+        processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
+                      self.PER_MB_MARSHAL_S * (request_mb + response_mb))
+        yield self.env.timeout(processing)
+        wire_s = yield self.env.process(
+            self.wireless.round_trip(device_id, request_mb, response_mb))
+        return RpcResult(
+            total_s=self.env.now - start,
+            wire_s=wire_s,
+            processing_s=processing,
+            request_mb=request_mb,
+            response_mb=response_mb,
+        )
+
+    def push(self, device_id: str, megabytes: float) -> Generator:
+        """Process: one-way upload (streaming sensor data). The TCP ack
+        still crosses the air, so the caller pays one base RTT."""
+        processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
+                      self.PER_MB_MARSHAL_S * megabytes)
+        yield self.env.timeout(processing)
+        wire_s = yield self.env.process(
+            self.wireless.upload(device_id, megabytes))
+        rtt = self.wireless.constants.base_rtt_s
+        yield self.env.timeout(rtt)
+        wire_s += rtt
+        return RpcResult(
+            total_s=processing + wire_s, wire_s=wire_s,
+            processing_s=processing, request_mb=megabytes, response_mb=0.0)
+
+
+class SoftwareClusterRpc:
+    """Kernel TCP/IP RPC between cluster servers (the baseline stack)."""
+
+    def __init__(self, env: Environment, network: ClusterNetwork,
+                 constants: Optional[ClusterConstants] = None):
+        self.env = env
+        self.network = network
+        self.constants = constants or network.constants
+
+    @property
+    def per_call_cpu_s(self) -> float:
+        """Host-CPU seconds consumed per RPC (freed by FPGA offload)."""
+        return 2 * self.constants.sw_rpc_overhead_s
+
+    def call(self, src: str, dst: str, request_mb: float,
+             response_mb: float) -> Generator:
+        """Process: request to ``dst`` and response back; RpcResult."""
+        start = self.env.now
+        processing = self.per_call_cpu_s
+        yield self.env.timeout(processing)
+        wire = yield self.env.process(
+            self.network.transfer(src, dst, request_mb))
+        wire_back = yield self.env.process(
+            self.network.transfer(dst, src, response_mb))
+        return RpcResult(
+            total_s=self.env.now - start,
+            wire_s=wire + wire_back,
+            processing_s=processing,
+            request_mb=request_mb,
+            response_mb=response_mb,
+        )

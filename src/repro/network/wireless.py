@@ -1,0 +1,114 @@
+"""Shared wireless medium between the swarm and the backend (section 2.1).
+
+The testbed uses two 867 Mbps MU-MIMO access points. Each access point is a
+pair of serialized links (uplink toward the cloud carries the sensor data;
+downlink carries responses/route updates), and devices are statically
+balanced across access points — matching how the real swarm associates with
+whichever router it joined. Saturation emerges naturally: when offered load
+exceeds the per-AP capacity, the link FIFO queues and tail latency explodes
+(Fig 3b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..config import WirelessConstants
+from ..sim import Environment
+from ..telemetry import BandwidthMeter
+from .link import Link
+
+__all__ = ["AccessPoint", "WirelessNetwork"]
+
+
+class AccessPoint:
+    """One router: an uplink and a downlink sharing its rated capacity.
+
+    MU-MIMO routers schedule air-time across directions; we give each
+    direction the full rated capacity but track combined utilization, which
+    reproduces the saturation point within the fidelity the figures need.
+    """
+
+    def __init__(self, env: Environment, name: str,
+                 constants: WirelessConstants,
+                 meter: Optional[BandwidthMeter] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.name = name
+        self.uplink = Link(
+            env, f"{name}.up", constants.ap_mbs,
+            latency_s=constants.per_hop_latency_s,
+            loss_rate=constants.loss_rate, meter=meter, rng=rng,
+            contention_penalty=constants.contention_penalty,
+            max_collapse=constants.max_collapse)
+        self.downlink = Link(
+            env, f"{name}.down", constants.ap_mbs,
+            latency_s=constants.per_hop_latency_s,
+            loss_rate=constants.loss_rate, meter=meter, rng=rng,
+            contention_penalty=constants.contention_penalty,
+            max_collapse=constants.max_collapse)
+
+
+class WirelessNetwork:
+    """The swarm's access network: devices balanced across access points."""
+
+    def __init__(self, env: Environment, constants: WirelessConstants,
+                 meter: Optional[BandwidthMeter] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.env = env
+        self.constants = constants
+        self.meter = meter if meter is not None else BandwidthMeter("wireless")
+        self.access_points: List[AccessPoint] = [
+            AccessPoint(env, f"ap{i}", constants, meter=self.meter, rng=rng)
+            for i in range(constants.access_points)
+        ]
+        self._assignment: Dict[str, AccessPoint] = {}
+        self._next_ap = 0
+
+    def attach(self, device_id: str) -> AccessPoint:
+        """Associate a device with an access point (round-robin balance)."""
+        if device_id in self._assignment:
+            return self._assignment[device_id]
+        ap = self.access_points[self._next_ap % len(self.access_points)]
+        self._next_ap += 1
+        self._assignment[device_id] = ap
+        return ap
+
+    def access_point_of(self, device_id: str) -> AccessPoint:
+        ap = self._assignment.get(device_id)
+        if ap is None:
+            raise KeyError(f"device {device_id!r} is not attached")
+        return ap
+
+    def upload(self, device_id: str, megabytes: float) -> Generator:
+        """Process: send ``megabytes`` from device to the cloud edge."""
+        ap = self.attach(device_id)
+        took = yield self.env.process(ap.uplink.transfer(megabytes))
+        return took
+
+    def download(self, device_id: str, megabytes: float) -> Generator:
+        """Process: send ``megabytes`` from the cloud edge to the device."""
+        ap = self.attach(device_id)
+        took = yield self.env.process(ap.downlink.transfer(megabytes))
+        return took
+
+    def round_trip(self, device_id: str, up_mb: float,
+                   down_mb: float) -> Generator:
+        """Process: request up, response down; returns total seconds."""
+        start = self.env.now
+        yield self.env.process(self.upload(device_id, up_mb))
+        yield self.env.process(self.download(device_id, down_mb))
+        # Association/MAC overhead per exchange.
+        yield self.env.timeout(self.constants.base_rtt_s)
+        return self.env.now - start
+
+    @property
+    def total_capacity_mbs(self) -> float:
+        return self.constants.total_mbs
+
+    def utilization(self, horizon_s: float) -> float:
+        """Mean uplink busy fraction across access points."""
+        fractions = [ap.uplink.busy_fraction(horizon_s)
+                     for ap in self.access_points]
+        return sum(fractions) / len(fractions)

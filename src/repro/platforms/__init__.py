@@ -1,0 +1,16 @@
+"""Platform assemblies and runners for the systems under test."""
+
+from .base import PLATFORMS, PlatformConfig, RunResult, platform_config
+from .car_runner import CarScenarioRunner
+from .runner import SingleTierRunner
+from .scenario_runner import ScenarioRunner
+
+__all__ = [
+    "PlatformConfig",
+    "PLATFORMS",
+    "platform_config",
+    "RunResult",
+    "SingleTierRunner",
+    "ScenarioRunner",
+    "CarScenarioRunner",
+]

@@ -1,0 +1,147 @@
+"""Platform configurations and run results.
+
+The evaluation compares these systems (Figs 1, 11, 13):
+
+- **Centralized IaaS** — all computation in the cloud on statically
+  provisioned resources of equal cost.
+- **Centralized FaaS** — all computation in the cloud on OpenWhisk.
+- **Distributed Edge** — all computation on the devices; only final
+  outputs go upstream.
+- **HiveMind** — hybrid placement by the compiler, HiveMind's serverless
+  scheduler, FPGA network + remote-memory acceleration, straggler
+  mitigation, fault tolerance.
+
+Ablation configs (Fig 13) toggle individual mechanisms: "Centr-Net Accel",
+"+Remote Mem", "Distr-Net Accel", "HiveMind-No Accel".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..telemetry import (
+    BandwidthMeter,
+    BreakdownAggregate,
+    EnergyAccount,
+    MetricSeries,
+    fleet_consumed_percent,
+)
+
+__all__ = ["PlatformConfig", "RunResult", "PLATFORMS", "platform_config"]
+
+EXECUTION_MODES = ("cloud_faas", "cloud_iaas", "edge", "hybrid")
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything that distinguishes one system under test."""
+
+    name: str
+    execution: str
+    #: FPGA RPC offload for edge<->cloud traffic (section 4.5).
+    net_accel: bool = False
+    #: FPGA remote-memory fabric for function data exchange (section 4.4).
+    remote_mem: bool = False
+    #: Serverless placement policy.
+    scheduler: str = "openwhisk"
+    #: Straggler watchdog + duplicate launches (section 4.6).
+    straggler_mitigation: bool = False
+    #: Shared-state scheduler instances (HiveMind scales these out).
+    n_controllers: int = 1
+    #: Hybrid on-board filtering before upload (partial edge execution).
+    edge_filtering: bool = False
+    #: Idle-container lifetime. Stock OpenWhisk reclaims aggressively
+    #: (which is what makes instantiation ~22% of median latency, Fig 6b);
+    #: HiveMind deliberately keeps idling containers 10-30 s (section 4.3).
+    container_keepalive_s: float = 1.5
+
+    def __post_init__(self):
+        if self.execution not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {self.execution!r}")
+        if self.n_controllers <= 0:
+            raise ValueError("need at least one controller")
+
+    @property
+    def sharing(self) -> str:
+        return "remote_memory" if self.remote_mem else "couchdb"
+
+
+PLATFORMS: Dict[str, PlatformConfig] = {
+    "centralized_iaas": PlatformConfig(
+        name="centralized_iaas", execution="cloud_iaas"),
+    "centralized_faas": PlatformConfig(
+        name="centralized_faas", execution="cloud_faas"),
+    "distributed_edge": PlatformConfig(
+        name="distributed_edge", execution="edge"),
+    "hivemind": PlatformConfig(
+        name="hivemind", execution="hybrid", net_accel=True,
+        remote_mem=True, scheduler="hivemind",
+        straggler_mitigation=True, n_controllers=4, edge_filtering=True,
+        container_keepalive_s=20.0),
+    # -- Fig 13 ablations -------------------------------------------------
+    "centralized_net_accel": PlatformConfig(
+        name="centralized_net_accel", execution="cloud_faas",
+        net_accel=True),
+    "centralized_net_remote": PlatformConfig(
+        name="centralized_net_remote", execution="cloud_faas",
+        net_accel=True, remote_mem=True),
+    "distributed_net_accel": PlatformConfig(
+        name="distributed_net_accel", execution="edge", net_accel=True),
+    "hivemind_no_accel": PlatformConfig(
+        name="hivemind_no_accel", execution="hybrid", net_accel=False,
+        remote_mem=False, scheduler="hivemind",
+        straggler_mitigation=True, n_controllers=4, edge_filtering=True,
+        container_keepalive_s=20.0),
+    # -- Section 4.7: deploying on a public cloud -------------------------
+    # Without full system control HiveMind keeps the programmability and
+    # task-placement benefits (DSL + hybrid execution + filtering) but
+    # loses physical placement (stock scheduler, no colocation) and, when
+    # the provider has no network-attached FPGAs, both fabrics.
+    "hivemind_public_cloud": PlatformConfig(
+        name="hivemind_public_cloud", execution="hybrid",
+        net_accel=False, remote_mem=False, scheduler="openwhisk",
+        straggler_mitigation=True, n_controllers=1, edge_filtering=True,
+        container_keepalive_s=20.0),
+}
+
+
+def platform_config(name: str) -> PlatformConfig:
+    found = PLATFORMS.get(name)
+    if found is None:
+        raise KeyError(
+            f"unknown platform {name!r}; valid: {sorted(PLATFORMS)}")
+    return found
+
+
+@dataclass
+class RunResult:
+    """Everything one run of (platform, workload) produced."""
+
+    platform: str
+    workload: str
+    task_latencies: MetricSeries
+    breakdowns: BreakdownAggregate
+    energy_accounts: List[EnergyAccount]
+    wireless_meter: BandwidthMeter
+    duration_s: float
+    completed: bool = True
+    #: Workload-specific outputs (detection counts, unique people, ...).
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def median_latency_s(self) -> float:
+        return self.task_latencies.median
+
+    @property
+    def tail_latency_s(self) -> float:
+        return self.task_latencies.p99
+
+    def battery_summary(self) -> "tuple[float, float]":
+        """(mean %, worst %) consumed battery across the fleet."""
+        return fleet_consumed_percent(self.energy_accounts)
+
+    def bandwidth_summary(self) -> "tuple[float, float]":
+        """(mean MB/s, p99 MB/s) on the wireless medium."""
+        return (self.wireless_meter.mean_mbs(self.duration_s),
+                self.wireless_meter.percentile_mbs(99, self.duration_s))

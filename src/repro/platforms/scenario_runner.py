@@ -1,0 +1,456 @@
+"""End-to-end scenario runner (Scenario A / Scenario B, Figs 1, 11-15).
+
+Runs a full mission: the field is partitioned among the drones, each flies a
+boustrophedon coverage route photographing the ground, obstacle avoidance
+always runs on-board (section 2.1), recognition runs wherever the platform
+places it, and Scenario B's deduplication aggregates in the cloud behind
+the synchronization barrier. Detection quality is *real*: camera sightings
+of world entities feed the embedding recognizer, whose accuracy depends on
+the continuous-learning mode.
+
+Fault tolerance runs live: heartbeats flow, a silent drone is declared
+failed after 3 s, and its region is repartitioned to neighbours who then
+fly the extra coverage (HiveMind / centralized platforms; the distributed
+platform has no global view, so a failed drone's region simply goes
+unsearched).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from ..apps import ScenarioSpec
+from ..cluster import Cluster, FixedPool
+from ..config import DEFAULT, PaperConstants
+from ..core import FailureDetector, StragglerMitigator
+from ..dsl import HiveMindCompiler
+from ..edge import Drone, FieldWorld, FrameBatch, Swarm
+from ..hardware import AcceleratedEdgeRpc, RemoteMemoryFabric
+from ..learning import DeduplicationEngine, IdentitySpace, RetrainingMode
+from ..learning.retraining import OnlineRecognizer
+from ..network import EdgeCloudRpc, build_fabric
+from ..routing import Region, coverage_route
+from ..serverless import Invocation, InvocationRequest, OpenWhiskPlatform
+from ..sim import Environment, RandomStreams
+from ..telemetry import BreakdownAggregate, LatencyBreakdown, MetricSeries
+from .base import PlatformConfig, RunResult
+from .runner import EDGE_FILTER_SLOWDOWN, FILTER_CEILING_MB, TX_DUTY
+
+__all__ = ["ScenarioRunner"]
+
+#: On-board obstacle avoidance cost (cloud-core seconds; S4's profile).
+OBSTACLE_SERVICE_S = 0.06
+OBSTACLE_SLOWDOWN = 1.2
+#: HiveMind reserves cloud headroom for performance predictability (cores
+#: are pinned, never shared, and other tenants coexist): when the swarm's
+#: aggregate recognition demand would exceed this many dedicated cores,
+#: the runtime remaps the excess batches to on-board execution — the
+#: task-granularity runtime remapping of section 4.2, and the reason
+#: Fig 17b's bandwidth grows sublinearly ("accommodates more computation
+#: on-board" at scale).
+CLOUD_BUDGET_CORES = 96.0
+
+
+class ScenarioRunner:
+    """Executes one end-to-end scenario on one platform."""
+
+    def __init__(self, config: PlatformConfig, scenario: ScenarioSpec,
+                 constants: PaperConstants = DEFAULT,
+                 seed: int = 0,
+                 n_devices: Optional[int] = None,
+                 retraining: Optional[str] = None,
+                 fail_device_at: Optional[Tuple[int, float]] = None,
+                 frame_mb: Optional[float] = None,
+                 fps: Optional[float] = None,
+                 iaas_baseline_devices: int = 16,
+                 passes: int = 1):
+        self.config = config
+        self.scenario = scenario
+        self.constants = (constants if n_devices is None
+                          else constants.scaled_for_swarm(n_devices))
+        self.seed = seed
+        self.retraining = retraining
+        self.fail_device_at = fail_device_at
+        self.frame_mb = frame_mb
+        self.fps = fps
+        if iaas_baseline_devices <= 0:
+            raise ValueError("baseline fleet must be positive")
+        self.iaas_baseline_devices = iaas_baseline_devices
+        if passes <= 0:
+            raise ValueError("passes must be positive")
+        #: Coverage passes over the field (continuous-surveillance runs
+        #: use several so online learning has material to learn from).
+        self.passes = passes
+
+    # -- defaults -------------------------------------------------------------
+    def _default_retraining(self) -> RetrainingMode:
+        """Centralized backends learn swarm-wide; distributed cannot."""
+        if self.retraining is not None:
+            return RetrainingMode(self.retraining)
+        if self.config.execution == "edge":
+            return RetrainingMode.SELF
+        return RetrainingMode.SWARM
+
+    def _n_controllers(self) -> int:
+        """HiveMind spawns shared-state schedulers as the swarm grows
+        (section 4.3); stock OpenWhisk keeps its single controller."""
+        if self.config.scheduler != "hivemind":
+            return self.config.n_controllers
+        return max(self.config.n_controllers,
+                   math.ceil(self.constants.drone.count / 64))
+
+    def _fabric_constants(self) -> PaperConstants:
+        """See SingleTierRunner._fabric_constants."""
+        if not self.config.net_accel:
+            return self.constants
+        from dataclasses import replace
+        return replace(self.constants, wireless=replace(
+            self.constants.wireless,
+            mac_efficiency=self.constants.accel.mac_efficiency_accel))
+
+    # -- run ------------------------------------------------------------
+    def run(self) -> RunResult:
+        env = Environment()
+        streams = RandomStreams(self.seed)
+        constants = self.constants
+        fabric = build_fabric(env, self._fabric_constants(), streams)
+        app = self.scenario.recognition
+        rng = streams.stream("scenario.workload")
+
+        # World + ground truth.
+        world = FieldWorld(constants.field_width_m, constants.field_height_m,
+                           streams.stream("scenario.world"))
+        if self.scenario.moving_targets:
+            n_targets = constants.scenario_b_people
+            world.place_people(n_targets)
+        else:
+            n_targets = constants.scenario_a_items
+            world.place_items(n_targets)
+        space = IdentitySpace(n_targets, dim=16,
+                              rng=streams.stream("scenario.identities"))
+
+        # Swarm.
+        drones = [
+            Drone(env, f"drone{i:04d}", constants.drone,
+                  rng=streams.stream(f"scenario.drone{i}"),
+                  frame_mb=self.frame_mb, fps=self.fps)
+            for i in range(constants.drone.count)
+        ]
+        swarm = Swarm(env, drones, control=constants.control)
+        swarm.assign_regions(constants.field_width_m,
+                             constants.field_height_m)
+
+        # Recognizer + dedup. Pretraining is deliberately thin (one noisy
+        # example per identity) so Fig 15's never-retrained baseline shows
+        # material error; sensor noise is calibrated against the accept
+        # radius for the same reason.
+        recognizer = OnlineRecognizer(
+            space, [d.device_id for d in drones],
+            self._default_retraining(),
+            rng=streams.stream("scenario.recognizer"),
+            sensor_noise=0.50, pretrain_noise=0.55,
+            pretrain_samples=1, clutter_rate=0.08)
+        dedup = DeduplicationEngine(merge_radius=0.75)
+
+        # Cloud side.
+        platform = None
+        mitigator = None
+        pool = None
+        execution = self.config.execution
+        if execution in ("cloud_faas", "hybrid"):
+            cluster = Cluster(env, constants.cluster)
+            remote_memory = (RemoteMemoryFabric(env, constants.accel)
+                             if self.config.remote_mem else None)
+            platform = OpenWhiskPlatform(
+                env, cluster, streams,
+                constants=constants.serverless,
+                scheduler=self.config.scheduler,
+                sharing=self.config.sharing,
+                keepalive_s=self.config.container_keepalive_s,
+                n_controllers=self._n_controllers(),
+                cluster_network=fabric.cluster,
+                remote_memory=remote_memory)
+            if self.config.straggler_mitigation:
+                mitigator = StragglerMitigator(env, platform,
+                                               constants.control)
+        elif execution == "cloud_iaas":
+            # Statically provisioned resources of equal cost: sized for the
+            # real 16-drone testbed's long-run average demand (missions are
+            # intermittent; reserving for the peak would idle the fleet at
+            # several times the cost). Being *static*, the reservation does
+            # not grow with simulated swarm size — the scalability wall of
+            # Fig 1 — and the fleet boots at mission start, paying the
+            # instance spin-up lag (Fig 5b's inelasticity).
+            demand = (self.iaas_baseline_devices * app.cloud_service_s *
+                      min(1.0, app.rate_hz))
+            pool = FixedPool(env, cores=1)
+            env.process(pool.resize(max(1, math.ceil(demand * 0.5))))
+
+        if self.config.net_accel:
+            edge_rpc = AcceleratedEdgeRpc(env, fabric.wireless,
+                                          constants.accel)
+        else:
+            edge_rpc = EdgeCloudRpc(env, fabric.wireless)
+
+        # Recognition placement.
+        if execution == "hybrid":
+            graph, directives = self.scenario.dsl_graph()
+            compiler = HiveMindCompiler(
+                constants, n_devices=len(drones),
+                accelerated=self.config.net_accel)
+            recognition_tier = compiler.compile(
+                graph, directives).placement.tier_of("recognition")
+        elif execution == "edge":
+            recognition_tier = "edge"
+        else:
+            recognition_tier = "cloud"
+
+        # Runtime remapping: fraction of batches the cloud budget admits.
+        cloud_fraction = 1.0
+        if execution == "hybrid" and recognition_tier == "cloud":
+            demand_cores = len(drones) * app.cloud_service_s
+            cloud_fraction = min(1.0, CLOUD_BUDGET_CORES / demand_cores)
+
+        # Fault tolerance (global-view platforms only).
+        detector = None
+        if execution != "edge":
+            swarm.start_heartbeats()
+            detector = FailureDetector(env, swarm, constants.control)
+        if self.fail_device_at is not None:
+            index, at_time = self.fail_device_at
+            swarm.fail_device_at(drones[index].device_id, at_time)
+
+        # Metrics + scenario state.
+        latencies = MetricSeries(f"{self.scenario.key}.{self.config.name}")
+        breakdowns = BreakdownAggregate()
+        found_items: Set[int] = set()
+        pending = {"count": 0}
+        recognition_spec = app.function_spec()
+        dedup_spec = (self.scenario.dedup.function_spec()
+                      if self.scenario.dedup is not None else None)
+        input_mb = (self.frame_mb * (self.fps or
+                                     constants.drone.frames_per_second)
+                    if self.frame_mb is not None
+                    else app.input_mb)
+
+        def record_sightings(device: Drone, batch: FrameBatch) -> None:
+            sightings = (batch.people_sightings
+                         if self.scenario.moving_targets
+                         else batch.item_sightings)
+            for identity in sightings:
+                predicted = recognizer.sight(device.device_id, identity)
+                if predicted is None:
+                    continue
+                if self.scenario.moving_targets:
+                    dedup.add(space.observe(identity, 0.25))
+                else:
+                    found_items.add(predicted)
+
+        def invoke_cloud(request: InvocationRequest) -> Generator:
+            if mitigator is not None:
+                result = yield env.process(mitigator.invoke(request))
+            else:
+                result = yield env.process(platform.invoke(request))
+            return result
+
+        def recognition_cloud(device: Drone, batch: FrameBatch,
+                              breakdown: LatencyBreakdown) -> Generator:
+            upload_mb = input_mb
+            if (execution == "hybrid" and self.config.edge_filtering and
+                    app.edge_filter_keep < 1.0):
+                filter_s = yield env.process(device.execute(
+                    app.edge_filter_service_s,
+                    slowdown=EDGE_FILTER_SLOWDOWN))
+                breakdown.charge("execution", filter_s)
+                upload_mb = min(upload_mb * app.edge_filter_keep,
+                                FILTER_CEILING_MB)
+            push = yield env.process(
+                edge_rpc.push(device.device_id, upload_mb))
+            device.account_tx(TX_DUTY * push.total_s)
+            breakdown.charge("network", push.total_s)
+            intrinsic = app.sample_cloud_service(rng)
+            if platform is not None:
+                request = InvocationRequest(
+                    spec=recognition_spec, service_s=intrinsic,
+                    input_mb=upload_mb, output_mb=app.output_mb)
+                invocation = yield env.process(invoke_cloud(request))
+                breakdown.charge("management",
+                                 invocation.breakdown.management)
+                breakdown.charge("data_io", invocation.breakdown.data_io)
+                breakdown.charge("execution",
+                                 invocation.breakdown.execution)
+                return invocation
+            wait_s, service_s = yield env.process(pool.execute(intrinsic))
+            breakdown.charge("management", wait_s)
+            breakdown.charge("execution", service_s)
+            return None
+
+        def recognition_edge(device: Drone,
+                             breakdown: LatencyBreakdown) -> Generator:
+            intrinsic = (app.sample_cloud_service(rng) +
+                         self.scenario.edge_extra_service_s)
+            service = yield env.process(device.execute(
+                intrinsic, slowdown=app.edge_slowdown))
+            breakdown.charge("execution", service)
+            push = yield env.process(
+                edge_rpc.push(device.device_id, app.output_mb))
+            device.account_tx(TX_DUTY * push.total_s)
+            breakdown.charge("network", push.total_s)
+            return None
+
+        # Persist directives (Listing 2): outputs of the marked tasks go
+        # to persistent storage (CouchDB on the cloud platforms).
+        _, scenario_directives = self.scenario.dsl_graph()
+        persisted_tasks = set(scenario_directives.persisted)
+        persist_counter = {"count": 0}
+
+        def persist_output(task_name: str, key: str,
+                           megabytes: float) -> Generator:
+            if platform is None or task_name not in persisted_tasks:
+                return
+            yield env.process(platform.couchdb.store(key, megabytes))
+            persist_counter["count"] += 1
+
+        def aggregate_stage(parent: Optional[Invocation],
+                            breakdown: LatencyBreakdown) -> Generator:
+            """Scenario B deduplication / Scenario A location merge."""
+            if platform is None or dedup_spec is None:
+                return
+            intrinsic = self.scenario.dedup.sample_cloud_service(rng)
+            request = InvocationRequest(
+                spec=dedup_spec, service_s=intrinsic,
+                input_mb=(parent.request.output_mb if parent else 0.1),
+                output_mb=0.05, parent=parent)
+            invocation = yield env.process(invoke_cloud(request))
+            breakdown.charge("management", invocation.breakdown.management)
+            breakdown.charge("data_io", invocation.breakdown.data_io)
+            breakdown.charge("execution", invocation.breakdown.execution)
+            yield env.process(persist_output(
+                "aggregate", f"agg-{invocation.invocation_id}", 0.05))
+
+        def handle_batch(device: Drone, batch: FrameBatch) -> Generator:
+            start = env.now
+            breakdown = LatencyBreakdown()
+            try:
+                # Obstacle avoidance always on-board (section 2.1), and
+                # declared Parallel(obstacleAvoidance, recognition) in the
+                # Listing-3 graph: it runs concurrently with the
+                # recognition pipeline, contending only for the device CPU.
+                obstacle = env.process(device.execute(
+                    OBSTACLE_SERVICE_S, slowdown=OBSTACLE_SLOWDOWN))
+                to_cloud = (recognition_tier == "cloud" and device.alive and
+                            (cloud_fraction >= 1.0 or
+                             float(rng.random()) < cloud_fraction))
+                if to_cloud:
+                    parent = yield env.process(
+                        recognition_cloud(device, batch, breakdown))
+                    if parent is not None:
+                        yield env.process(persist_output(
+                            "recognition",
+                            f"rec-{parent.invocation_id}",
+                            app.output_mb))
+                else:
+                    parent = yield env.process(
+                        recognition_edge(device, breakdown))
+                record_sightings(device, batch)
+                yield env.process(aggregate_stage(parent, breakdown))
+                yield obstacle  # join the Parallel branch
+                latencies.add(env.now - start, time=start)
+                breakdowns.add(breakdown)
+            finally:
+                pending["count"] -= 1
+
+        def on_batch(device: Drone):
+            def callback(batch: FrameBatch) -> None:
+                if not device.alive:
+                    return
+                pending["count"] += 1
+                env.process(handle_batch(device, batch))
+            return callback
+
+        completed = {"all": True}
+
+        def mission(device: Drone) -> Generator:
+            device.start_mission()
+            swath = constants.drone.fov_width_m
+            for _ in range(self.passes):
+                covered: Set[Tuple[float, float, float, float]] = set()
+                while device.alive:
+                    region = self._next_region(swarm, device, covered)
+                    if region is None:
+                        break
+                    covered.add((region.x0, region.y0,
+                                 region.x1, region.y1))
+                    route = coverage_route(region, swath)
+                    yield env.process(device.fly_route(
+                        route, world, on_batch=on_batch(device)))
+                    if device.energy.depleted:
+                        device.fail()
+                        completed["all"] = False
+                if not device.alive:
+                    break
+
+        missions = [env.process(mission(d)) for d in drones]
+
+        def orchestrate() -> Generator:
+            yield env.all_of(missions)
+            # Drain the processing pipeline.
+            while pending["count"] > 0:
+                yield env.timeout(0.5)
+
+        env.run(env.process(orchestrate()))
+        makespan = env.now
+        for device in drones:
+            device.finalize_mission(makespan)
+
+        uncovered = self._uncovered_regions(swarm, drones)
+        if uncovered:
+            completed["all"] = False
+
+        extras: Dict[str, object] = {
+            "makespan_s": makespan,
+            "targets": n_targets,
+            "recognition_tier": recognition_tier,
+            "cloud_fraction": cloud_fraction,
+            "persisted_documents": persist_counter["count"],
+            "tally": recognizer.tally,
+            "failed_devices": (detector.failed if detector is not None
+                               else [d.device_id for d in drones
+                                     if not d.alive]),
+        }
+        if self.scenario.moving_targets:
+            extras["unique_people"] = dedup.unique_count
+        else:
+            extras["items_found"] = len(found_items)
+        if platform is not None:
+            extras["cold_starts"] = platform.cold_starts
+        return RunResult(
+            platform=self.config.name,
+            workload=self.scenario.key,
+            task_latencies=latencies,
+            breakdowns=breakdowns,
+            energy_accounts=[d.energy for d in drones],
+            wireless_meter=fabric.wireless_meter,
+            duration_s=makespan,
+            completed=completed["all"],
+            extras=extras,
+        )
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _next_region(swarm: Swarm, device: Drone,
+                     covered: Set) -> Optional[Region]:
+        regions = swarm.regions.get(device.device_id, [])
+        for region in regions:
+            key = (region.x0, region.y0, region.x1, region.y1)
+            if key not in covered:
+                return region
+        return None
+
+    @staticmethod
+    def _uncovered_regions(swarm: Swarm, drones: List[Drone]) -> List[Region]:
+        """Regions belonging to dead devices with no heir."""
+        dead = {d.device_id for d in drones if not d.alive}
+        return [region for device_id, regions in swarm.regions.items()
+                if device_id in dead for region in regions]

@@ -1,0 +1,72 @@
+"""A* shortest-path planning (Scenario A route derivation, section 2.1).
+
+Routes within each drone's region are derived with A*, each drone minimizing
+total distance traveled. Implemented over :class:`~repro.routing.grid.
+GridMap` with Manhattan heuristic (admissible for 4-connected movement).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from .grid import Cell, GridMap
+
+__all__ = ["astar", "path_length", "NoPathError"]
+
+
+class NoPathError(Exception):
+    """Raised when no route exists between the requested cells."""
+
+
+def manhattan(a: Cell, b: Cell) -> float:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def astar(grid: GridMap, start: Cell, goal: Cell,
+          heuristic: Callable[[Cell, Cell], float] = manhattan
+          ) -> List[Cell]:
+    """Shortest 4-connected path from start to goal, inclusive.
+
+    Raises :class:`NoPathError` when the goal is unreachable and
+    ``ValueError`` when either endpoint is blocked or out of bounds.
+    """
+    if not grid.is_free(start):
+        raise ValueError(f"start {start} is blocked or out of bounds")
+    if not grid.is_free(goal):
+        raise ValueError(f"goal {goal} is blocked or out of bounds")
+    if start == goal:
+        return [start]
+
+    tie = itertools.count()
+    frontier: List = [(heuristic(start, goal), next(tie), start)]
+    came_from: Dict[Cell, Optional[Cell]] = {start: None}
+    cost_so_far: Dict[Cell, float] = {start: 0.0}
+
+    while frontier:
+        _, _, current = heapq.heappop(frontier)
+        if current == goal:
+            return _reconstruct(came_from, goal)
+        for neighbor in grid.neighbors(current):
+            new_cost = cost_so_far[current] + 1.0
+            if new_cost < cost_so_far.get(neighbor, float("inf")):
+                cost_so_far[neighbor] = new_cost
+                came_from[neighbor] = current
+                priority = new_cost + heuristic(neighbor, goal)
+                heapq.heappush(frontier, (priority, next(tie), neighbor))
+    raise NoPathError(f"no path from {start} to {goal}")
+
+
+def _reconstruct(came_from: Dict[Cell, Optional[Cell]],
+                 goal: Cell) -> List[Cell]:
+    path = [goal]
+    while came_from[path[-1]] is not None:
+        path.append(came_from[path[-1]])
+    path.reverse()
+    return path
+
+
+def path_length(path: List[Cell]) -> float:
+    """Total distance of a cell path (unit steps)."""
+    return float(max(0, len(path) - 1))

@@ -1,0 +1,36 @@
+"""Serverless platform emulation (Apache OpenWhisk-style)."""
+
+from .container import ContainerState, FunctionContainer
+from .couchdb import CouchDB
+from .datasharing import (
+    CouchDBSharing,
+    InMemorySharing,
+    RemoteMemorySharing,
+    RpcSharing,
+    SharingProtocol,
+)
+from .function import FunctionSpec, Invocation, InvocationRequest
+from .invoker import Invoker
+from .kafka import KafkaBus
+from .openwhisk import OpenWhiskPlatform
+from .scheduler import HiveMindScheduler, OpenWhiskScheduler, Placement
+
+__all__ = [
+    "FunctionSpec",
+    "InvocationRequest",
+    "Invocation",
+    "FunctionContainer",
+    "ContainerState",
+    "CouchDB",
+    "KafkaBus",
+    "Invoker",
+    "OpenWhiskScheduler",
+    "HiveMindScheduler",
+    "Placement",
+    "OpenWhiskPlatform",
+    "SharingProtocol",
+    "CouchDBSharing",
+    "RpcSharing",
+    "InMemorySharing",
+    "RemoteMemorySharing",
+]

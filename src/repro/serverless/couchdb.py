@@ -1,0 +1,91 @@
+"""CouchDB model (OpenWhisk's authentication and data-sharing store).
+
+OpenWhisk consults CouchDB for subject authentication on every request and —
+because functions may not communicate directly — stores intermediate results
+there for dependent functions (sections 2.3, 3.3). The model captures what
+the figures depend on:
+
+- a per-operation base latency with a heavy (Pareto) tail, reproducing the
+  compaction/contention spikes behind Fig 6c's tall CouchDB whiskers;
+- limited effective throughput, so many-MB intermediate objects are slow;
+- a single serialized service queue, so concurrent accessors interfere
+  (section 4.4: "expensive, especially when many functions try to access
+  data concurrently").
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..config import ServerlessConstants
+from ..sim import Environment, Resource
+
+__all__ = ["CouchDB"]
+
+
+class CouchDB:
+    """Shared document store with tail-heavy access latency."""
+
+    def __init__(self, env: Environment,
+                 constants: Optional[ServerlessConstants] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 concurrency: int = 8):
+        self.env = env
+        self.constants = constants or ServerlessConstants()
+        self._rng = rng
+        self._service = Resource(env, capacity=concurrency)
+        self.operations = 0
+        self._documents = {}
+
+    def _op_latency(self, megabytes: float) -> float:
+        base = (self.constants.couchdb_latency_s +
+                megabytes / self.constants.couchdb_mbs)
+        if self._rng is None:
+            return base
+        # Pareto-tailed multiplier, mean ~ alpha/(alpha-1).
+        alpha = self.constants.couchdb_tail_alpha
+        multiplier = (1.0 + self._rng.pareto(alpha))
+        return base * multiplier
+
+    def access(self, megabytes: float = 0.0) -> Generator:
+        """Process: one read-or-write of ``megabytes``; returns seconds."""
+        if megabytes < 0:
+            raise ValueError("size must be non-negative")
+        start = self.env.now
+        with self._service.request() as grant:
+            yield grant
+            yield self.env.timeout(self._op_latency(megabytes))
+        self.operations += 1
+        return self.env.now - start
+
+    def authenticate(self) -> Generator:
+        """Process: the per-request subject/auth lookup; returns seconds."""
+        start = self.env.now
+        with self._service.request() as grant:
+            yield grant
+            yield self.env.timeout(self.constants.auth_check_s)
+        self.operations += 1
+        return self.env.now - start
+
+    def store(self, key: str, megabytes: float) -> Generator:
+        """Process: persist a document (used by the Persist directive)."""
+        took = yield self.env.process(self.access(megabytes))
+        self._documents[key] = megabytes
+        return took
+
+    def load(self, key: str) -> Generator:
+        """Process: fetch a document; returns its size in MB."""
+        if key not in self._documents:
+            raise KeyError(f"unknown document {key!r}")
+        megabytes = self._documents[key]
+        yield self.env.process(self.access(megabytes))
+        return megabytes
+
+    def has_document(self, key: str) -> bool:
+        return key in self._documents
+
+    @property
+    def document_count(self) -> int:
+        return len(self._documents)

@@ -1,0 +1,250 @@
+"""The Invoker: per-server function launcher (OpenWhisk's executor).
+
+Each backend server runs one invoker. It maintains a warm-container pool,
+pays cold/warm start costs, pins a core for the execution, models
+interference from co-located functions, injects faults when an experiment
+asks for them, and respawns failed executions (OpenWhisk respawns failed
+tasks by default — Fig 5c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..cluster import Server
+from ..config import ServerlessConstants
+from ..sim import Environment
+from .container import FunctionContainer
+from .function import Invocation, InvocationRequest
+
+__all__ = ["ActivationMessage", "Invoker"]
+
+
+class ActivationMessage:
+    """One activation handed to an invoker over the Kafka bus.
+
+    Carries the request, the in-flight invocation record, the optional
+    container-colocation hint, and the event the controller-side caller
+    blocks on until the invoker finishes."""
+
+    def __init__(self, request: InvocationRequest, invocation: Invocation,
+                 prefer_container: Optional[FunctionContainer],
+                 done):
+        self.request = request
+        self.invocation = invocation
+        self.prefer_container = prefer_container
+        self.done = done
+
+
+class Invoker:
+    """Launches functions in containers on one server."""
+
+    #: How long to back off when the server has no memory for a container.
+    MEMORY_RETRY_S = 0.05
+
+    def __init__(self, env: Environment, server: Server,
+                 constants: ServerlessConstants,
+                 rng: np.random.Generator,
+                 fault_rate: float = 0.0,
+                 keepalive_s: Optional[float] = None):
+        if not 0 <= fault_rate < 1:
+            raise ValueError("fault rate must be in [0, 1)")
+        self.env = env
+        self.server = server
+        self.constants = constants
+        self.rng = rng
+        self.fault_rate = fault_rate
+        self.keepalive_s = (keepalive_s if keepalive_s is not None
+                            else constants.default_keepalive_s)
+        self._warm: Dict[str, List[FunctionContainer]] = {}
+        #: Machine-health multiplier on service times (thermal throttling,
+        #: failing disks, noisy neighbours outside our control): the
+        #: straggler source the p90 mitigation targets (section 4.6).
+        self.slow_factor = 1.0
+        self.cold_starts = 0
+        self.warm_starts = 0
+        self.respawns = 0
+
+    # -- warm pool ----------------------------------------------------------
+    def _reap_expired(self) -> None:
+        now = self.env.now
+        for image, pool in list(self._warm.items()):
+            keep = []
+            for container in pool:
+                if container.is_expired(now):
+                    container.mark_terminated()
+                    self.server.free_memory(container.memory_mb)
+                else:
+                    keep.append(container)
+            if keep:
+                self._warm[image] = keep
+            else:
+                del self._warm[image]
+
+    def take_warm(self, request: InvocationRequest,
+                  prefer: Optional[FunctionContainer] = None
+                  ) -> Optional[FunctionContainer]:
+        """Claim a warm container compatible with the request, if any."""
+        self._reap_expired()
+        pool = self._warm.get(request.spec.image, [])
+        if prefer is not None and prefer in pool \
+                and prefer.compatible_with(request.spec):
+            pool.remove(prefer)
+            return prefer
+        for container in pool:
+            if container.compatible_with(request.spec):
+                pool.remove(container)
+                return container
+        return None
+
+    def has_warm(self, image: str) -> bool:
+        self._reap_expired()
+        return bool(self._warm.get(image))
+
+    def warm_container_of(self, invocation: Invocation
+                          ) -> Optional[FunctionContainer]:
+        """The still-warm container a past invocation ran in, if alive."""
+        self._reap_expired()
+        for pool in self._warm.values():
+            for container in pool:
+                if container.container_id == invocation.container_id:
+                    return container
+        return None
+
+    def _evict_one_warm(self) -> bool:
+        """Terminate the stalest warm container to free memory."""
+        victim: Optional[FunctionContainer] = None
+        for pool in self._warm.values():
+            for container in pool:
+                if victim is None or container.warm_expiry < victim.warm_expiry:
+                    victim = container
+        if victim is None:
+            return False
+        self._warm[victim.image].remove(victim)
+        if not self._warm[victim.image]:
+            del self._warm[victim.image]
+        victim.mark_terminated()
+        self.server.free_memory(victim.memory_mb)
+        return True
+
+    @property
+    def warm_count(self) -> int:
+        return sum(len(pool) for pool in self._warm.values())
+
+    # -- execution ------------------------------------------------------------
+    def _cold_start_time(self) -> float:
+        median = self.constants.cold_start_median_s
+        sigma = self.constants.cold_start_sigma
+        return float(self.rng.lognormal(np.log(median), sigma))
+
+    def _interference_factor(self) -> float:
+        """Latency inflation from sharing the node with other functions."""
+        occupancy = self.server.utilization
+        excess = max(0.0, occupancy - 0.5)
+        inflation = 1.0 + self.constants.interference_slope * excess
+        # Multi-tenant noise: the node also hosts other tenants' functions
+        # (serverless gives no machine-type or colocation guarantees) —
+        # the variability reserved deployments do not see (Fig 6a).
+        jitter = float(self.rng.lognormal(0.0, 0.16))
+        return inflation * jitter * self.slow_factor
+
+    def _acquire_container(self, request: InvocationRequest,
+                           invocation: Invocation,
+                           prefer: Optional[FunctionContainer]) -> Generator:
+        container = (None if request.isolate
+                     else self.take_warm(request, prefer=prefer))
+        if container is not None:
+            start_cost = self.constants.warm_start_s
+            self.warm_starts += 1
+        else:
+            # Cold path: reserve memory (evicting stale warm containers if
+            # needed), then pay the Docker instantiation cost.
+            while not self.server.reserve_memory(request.spec.memory_mb):
+                if not self._evict_one_warm():
+                    yield self.env.timeout(self.MEMORY_RETRY_S)
+            container = FunctionContainer(
+                self.server.server_id, request.spec.image,
+                request.spec.memory_mb)
+            start_cost = self._cold_start_time()
+            self.cold_starts += 1
+            invocation.cold_start = True
+        yield self.env.timeout(start_cost)
+        invocation.instantiation_s += start_cost
+        invocation.breakdown.charge("management", start_cost)
+        container.mark_running()
+        return container
+
+    def run(self, request: InvocationRequest, invocation: Invocation,
+            prefer_container: Optional[FunctionContainer] = None) -> Generator:
+        """Process: execute one activation on this server.
+
+        Fills in the invocation's container/server fields, instantiation
+        and execution charges, and handles fault-respawn loops.
+        """
+        container = yield self.env.process(
+            self._acquire_container(request, invocation, prefer_container))
+        invocation.server_id = self.server.server_id
+        invocation.container_id = container.container_id
+        invocation.colocated = (
+            prefer_container is not None and container is prefer_container)
+
+        while True:
+            grant = yield self.env.process(self.server.acquire_cores(1))
+            invocation.t_exec_start = (
+                invocation.t_exec_start or self.env.now)
+            service = request.service_s * self._interference_factor()
+            faulty = (self.fault_rate > 0 and
+                      float(self.rng.random()) < self.fault_rate)
+            if faulty:
+                # Fail partway through, release the core, respawn.
+                failed_after = service * float(self.rng.uniform(0.1, 0.9))
+                yield self.env.process(self.server.compute(grant, failed_after))
+                grant.release()
+                invocation.failures += 1
+                invocation.breakdown.charge("execution", failed_after)
+                self.respawns += 1
+                continue
+            yield self.env.process(self.server.compute(grant, service))
+            grant.release()
+            invocation.breakdown.charge("execution", service)
+            break
+
+        container.executions += 1
+        container.last_invocation_id = invocation.invocation_id
+        if request.isolate:
+            # Dedicated container (Isolate directive): tear down rather
+            # than offering it for reuse.
+            container.mark_warm(self.env.now, 0.0)
+            container.mark_terminated()
+            self.server.free_memory(container.memory_mb)
+        else:
+            container.mark_warm(self.env.now, self.keepalive_s)
+            self._warm.setdefault(container.image, []).append(container)
+        return invocation
+
+    # -- Kafka consumer -------------------------------------------------------
+    def start_consumer(self, bus, topic: str) -> None:
+        """Begin consuming activations from this invoker's topic.
+
+        OpenWhisk's controller passes function information to the chosen
+        invoker via Kafka's publish-subscribe model (section 4.3); each
+        consumed activation runs concurrently (containers start in
+        parallel) and signals its ``done`` event on completion.
+        """
+        self._consumer = self.env.process(self._consume(bus, topic))
+
+    def _consume(self, bus, topic: str) -> Generator:
+        while True:
+            message = yield self.env.process(bus.consume(topic))
+            self.env.process(self._handle(message))
+
+    def _handle(self, message: ActivationMessage) -> Generator:
+        try:
+            yield self.env.process(self.run(
+                message.request, message.invocation,
+                prefer_container=message.prefer_container))
+            message.done.succeed(message.invocation)
+        except BaseException as error:  # surface crashes to the caller
+            message.done.fail(error)

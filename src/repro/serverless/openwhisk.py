@@ -1,0 +1,244 @@
+"""The assembled serverless platform (OpenWhisk emulation).
+
+Ties together the front end, CouchDB, the controller, Kafka, per-server
+invokers, a placement policy, and a data-sharing protocol into the pipeline
+the paper describes (section 2.3): an HTTP request hits the NGINX front end,
+the controller authenticates against CouchDB and selects an invoker, the
+activation travels over Kafka, and the invoker instantiates the function in
+a Docker container.
+
+:class:`OpenWhiskPlatform.invoke` is the single entry point; it returns a
+completed :class:`~repro.serverless.function.Invocation` whose breakdown
+carries the management / data-I/O / execution split of Figs 3a, 6b and 12.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from ..cluster import Cluster
+from ..config import ServerlessConstants
+from ..hardware.remote_memory import RemoteMemoryFabric
+from ..network.rpc import SoftwareClusterRpc
+from ..network.switch import ClusterNetwork
+from ..sim import Environment, NullTracer, RandomStreams, Resource
+from .couchdb import CouchDB
+from .datasharing import (
+    CouchDBSharing,
+    InMemorySharing,
+    RemoteMemorySharing,
+    RpcSharing,
+)
+from .function import Invocation, InvocationRequest
+from .invoker import ActivationMessage, Invoker
+from .kafka import KafkaBus
+from .scheduler import HiveMindScheduler, OpenWhiskScheduler, Placement
+
+__all__ = ["OpenWhiskPlatform"]
+
+SHARING_PROTOCOLS = ("couchdb", "rpc", "remote_memory")
+
+
+class OpenWhiskPlatform:
+    """A serverless cloud on top of a :class:`~repro.cluster.Cluster`."""
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 streams: RandomStreams,
+                 constants: Optional[ServerlessConstants] = None,
+                 scheduler: str = "openwhisk",
+                 sharing: str = "couchdb",
+                 fault_rate: float = 0.0,
+                 keepalive_s: Optional[float] = None,
+                 n_controllers: int = 1,
+                 cluster_network: Optional[ClusterNetwork] = None,
+                 remote_memory: Optional[RemoteMemoryFabric] = None,
+                 tracer=None):
+        if sharing not in SHARING_PROTOCOLS:
+            raise ValueError(f"unknown sharing protocol {sharing!r}")
+        if n_controllers <= 0:
+            raise ValueError("need at least one controller")
+        self.env = env
+        self.cluster = cluster
+        self.constants = constants or ServerlessConstants()
+        self.couchdb = CouchDB(env, self.constants,
+                               rng=streams.stream("serverless.couchdb"))
+        self.kafka = KafkaBus(env, self.constants)
+        self.invokers: List[Invoker] = [
+            Invoker(env, server, self.constants,
+                    rng=streams.stream(f"serverless.invoker.{server_id}"),
+                    fault_rate=fault_rate, keepalive_s=keepalive_s)
+            for server_id, server in sorted(cluster.servers.items())
+        ]
+        # Each invoker consumes its own Kafka topic (section 4.3).
+        for invoker in self.invokers:
+            invoker.start_consumer(
+                self.kafka, self._topic_of(invoker))
+        if scheduler == "hivemind":
+            self.scheduler = HiveMindScheduler(self.invokers)
+        elif scheduler == "openwhisk":
+            self.scheduler = OpenWhiskScheduler(self.invokers)
+        else:
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        #: Shared-state controller capacity: HiveMind can run several
+        #: schedulers with global visibility (section 4.3); stock OpenWhisk
+        #: has one. This is the centralized-scalability bottleneck of Fig 1.
+        self._controller = Resource(env, capacity=n_controllers)
+        self._concurrency = Resource(
+            env, capacity=self.constants.concurrency_limit)
+        self.sharing_name = sharing
+        self._sharing_couchdb = CouchDBSharing(env, self.couchdb,
+                                               self.constants)
+        self._sharing_inmem = InMemorySharing(env, self.constants)
+        self._sharing_rpc = (
+            RpcSharing(env, SoftwareClusterRpc(env, cluster_network),
+                       self.constants)
+            if cluster_network is not None else None)
+        self._sharing_remote = (
+            RemoteMemorySharing(env, remote_memory)
+            if remote_memory is not None else None)
+        self.invocations: List[Invocation] = []
+        #: Optional observability hook: every completed activation emits a
+        #: trace record (category "invocation") with its timing split.
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.active_tasks = 0
+        #: (time, active_count) samples, appended on every change (Fig 5c).
+        self.active_samples: List[Tuple[float, int]] = [(0.0, 0)]
+
+    @staticmethod
+    def _topic_of(invoker: Invoker) -> str:
+        return f"invoker-{invoker.server.server_id}"
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _task_started(self) -> None:
+        self.active_tasks += 1
+        self.active_samples.append((self.env.now, self.active_tasks))
+
+    def _task_finished(self) -> None:
+        self.active_tasks -= 1
+        self.active_samples.append((self.env.now, self.active_tasks))
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(inv.cold_starts for inv in self.invokers)
+
+    @property
+    def warm_starts(self) -> int:
+        return sum(inv.warm_starts for inv in self.invokers)
+
+    @property
+    def respawns(self) -> int:
+        return sum(inv.respawns for inv in self.invokers)
+
+    # -- data sharing -----------------------------------------------------------
+    def _select_sharing(self, colocated: bool):
+        if colocated:
+            return self._sharing_inmem
+        if self.sharing_name == "rpc":
+            if self._sharing_rpc is None:
+                raise RuntimeError(
+                    "RPC sharing requires a cluster network")
+            return self._sharing_rpc
+        if self.sharing_name == "remote_memory":
+            if self._sharing_remote is None:
+                raise RuntimeError(
+                    "remote-memory sharing requires an FPGA fabric")
+            return self._sharing_remote
+        return self._sharing_couchdb
+
+    def _share_parent_output(self, request: InvocationRequest,
+                             invocation: Invocation,
+                             placement: Placement) -> Generator:
+        parent = request.parent
+        if parent is None or parent.request.output_mb == 0:
+            return
+        colocated = placement.container is not None
+        protocol = self._select_sharing(colocated)
+        dst = placement.invoker.server.server_id
+        src = dst if colocated else (parent.server_id or dst)
+        took = yield self.env.process(
+            protocol.share(src, dst, parent.request.output_mb))
+        invocation.data_share_s += took
+        invocation.breakdown.charge("data_io", took)
+
+    # -- the activation pipeline -----------------------------------------------
+    def invoke(self, request: InvocationRequest) -> Generator:
+        """Process: run one activation end to end; returns the Invocation."""
+        invocation = Invocation(request=request, t_arrive=self.env.now)
+        with self._concurrency.request() as admitted:
+            yield admitted
+            self._task_started()
+            try:
+                # Front end + auth check against CouchDB.
+                yield self.env.timeout(self.constants.frontend_latency_s)
+                auth_s = yield self.env.process(self.couchdb.authenticate())
+                invocation.breakdown.charge(
+                    "management", self.constants.frontend_latency_s + auth_s)
+                # Controller: queue for a scheduler slot, decide placement.
+                queue_start = self.env.now
+                with self._controller.request() as slot:
+                    yield slot
+                    yield self.env.timeout(
+                        self.constants.controller_decision_s +
+                        self.constants.controller_service_s)
+                    placement = self.scheduler.place(request)
+                invocation.breakdown.charge(
+                    "management", self.env.now - queue_start)
+                # Fetch the parent's output (protocol depends on placement).
+                yield self.env.process(self._share_parent_output(
+                    request, invocation, placement))
+                # Activation travels over Kafka to the chosen invoker's
+                # topic; its consumer instantiates and executes, and the
+                # caller blocks on the completion event.
+                kafka_start = self.env.now
+                done = self.env.event()
+                message = ActivationMessage(
+                    request, invocation, placement.container, done)
+                yield self.env.process(self.kafka.publish(
+                    self._topic_of(placement.invoker), message))
+                invocation.breakdown.charge(
+                    "management", self.env.now - kafka_start)
+                invocation.t_scheduled = self.env.now
+                yield done
+                invocation.t_complete = self.env.now
+            finally:
+                self._task_finished()
+        self.invocations.append(invocation)
+        self.tracer.emit(
+            self.env.now, "invocation",
+            function=invocation.spec.name,
+            server=invocation.server_id,
+            latency_s=invocation.latency_s,
+            cold=invocation.cold_start,
+            colocated=invocation.colocated,
+            failures=invocation.failures)
+        return invocation
+
+    def invoke_parallel(self, request: InvocationRequest,
+                        ways: int) -> Generator:
+        """Process: fan one task out across ``ways`` functions (Fig 5a).
+
+        The task's work and payload divide evenly; the task completes when
+        every shard does. Returns the list of shard invocations.
+        """
+        if ways <= 0:
+            raise ValueError("parallelism must be positive")
+        if ways == 1:
+            single = yield self.env.process(self.invoke(request))
+            return [single]
+        shard = InvocationRequest(
+            spec=request.spec,
+            service_s=request.service_s / ways,
+            input_mb=request.input_mb / ways,
+            output_mb=request.output_mb / ways,
+            parent=request.parent,
+            colocate_with_parent=request.colocate_with_parent,
+            priority=request.priority,
+        )
+        shards = [self.env.process(self.invoke(InvocationRequest(
+            spec=shard.spec, service_s=shard.service_s,
+            input_mb=shard.input_mb, output_mb=shard.output_mb,
+            parent=shard.parent,
+            colocate_with_parent=shard.colocate_with_parent,
+            priority=shard.priority))) for _ in range(ways)]
+        results = yield self.env.all_of(shards)
+        return list(results.values())

@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate for the HiveMind reproduction.
+
+Public surface:
+
+- kernel: :class:`Environment`, :class:`Event`, :class:`Timeout`,
+  :class:`Process`, :class:`Interrupt`
+- resources: :class:`Resource`, :class:`PriorityResource`,
+  :class:`Container`, :class:`Store`
+- rng: :class:`RandomStreams`
+- trace: :class:`Tracer`, :class:`NullTracer`
+"""
+
+from .kernel import (
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    StopSimulation,
+    Timeout,
+)
+from .resources import Container, Preempted, PriorityResource, Resource, Store
+from .rng import RandomStreams
+from .trace import NullTracer, Tracer, TraceRecord
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "Interrupt",
+    "StopSimulation",
+    "Resource",
+    "PriorityResource",
+    "Preempted",
+    "Container",
+    "Store",
+    "RandomStreams",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+]

@@ -1,0 +1,405 @@
+"""Discrete-event simulation kernel.
+
+This module is the substrate every HiveMind model runs on. It implements a
+generator-based process model in the style of SimPy (which is not available
+offline), with the pieces the rest of the repository needs:
+
+- :class:`Environment` — event loop with a virtual clock.
+- :class:`Event` — one-shot occurrence with callbacks and a value.
+- :class:`Timeout` — event that fires after a virtual-time delay.
+- :class:`Process` — wraps a generator; ``yield``-ing an event suspends the
+  process until that event fires. A process is itself an event that succeeds
+  with the generator's return value.
+- :class:`Condition` / :func:`Environment.all_of` / :func:`Environment.any_of`
+  — composite waits.
+- :class:`Interrupt` — exception thrown into a process by
+  :meth:`Process.interrupt`.
+
+Time is a ``float`` in **seconds**. Determinism: events scheduled for the
+same instant fire in (priority, insertion-order) order, so repeated runs with
+the same seeds produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "Interrupt",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for interrupts and other must-run-first events.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupt ``cause`` (an arbitrary object supplied by the caller of
+    :meth:`Process.interrupt`) is available as :attr:`cause`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at an event."""
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, becomes *triggered* once a value (or an
+    exception) is attached and it is scheduled, and *processed* after its
+    callbacks have run. Callbacks are ``callable(event)``.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded; valid only once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process sees the exception raised at its ``yield``.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self._defused = False
+        self.env._schedule(self, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy outcome from another (triggered) event. Used as a callback."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self, NORMAL)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` seconds of virtual time in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Immediate event that starts a freshly created :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The generator advances whenever the event it yielded fires; yielding a
+    failed event re-raises the failure inside the generator. The process is
+    itself an event: it succeeds with the generator's ``return`` value, or
+    fails with its uncaught exception (unless another process is waiting on
+    it, the exception propagates and crashes the simulation, which keeps bugs
+    loud).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is None or isinstance(self._target, Initialize):
+            raise RuntimeError("cannot interrupt a process before it starts")
+        # Detach from whatever the process is waiting on, then resume it
+        # urgently with the interrupt as a failure.
+        if self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        hoax = Event(self.env)
+        hoax._ok = False
+        hoax._value = Interrupt(cause)
+        hoax._defused = True
+        hoax.callbacks.append(self._resume)
+        self.env._schedule(hoax, URGENT)
+        self._target = hoax
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self._defused = False
+                self.env._schedule(self, NORMAL)
+                break
+            if not isinstance(next_event, Event):
+                self._generator.throw(TypeError(
+                    f"process yielded a non-event: {next_event!r}"))
+                continue
+            if next_event.callbacks is not None:
+                # Pending (or triggered-but-unprocessed): wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: loop immediately with its outcome.
+            event = next_event
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process {name} {'alive' if self.is_alive else 'dead'}>"
+
+
+class Condition(Event):
+    """Waits on multiple events; fires per ``evaluate(events, count)``.
+
+    The condition's value is an ordered ``dict`` mapping each *triggered*
+    constituent event to its value.
+    """
+
+    def __init__(self, env: "Environment",
+                 evaluate: Callable[[List[Event], int], bool],
+                 events: Iterable[Event]):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:  # already processed
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only events that have actually *fired* (callbacks ran) belong in
+        # the result; a Timeout carries its value from creation but has not
+        # occurred until processed.
+        return {e: e._value for e in self._events
+                if e.callbacks is None and e._ok}
+
+
+class Environment:
+    """The simulation environment: clock plus event loop.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, Condition.all_events, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        return Condition(self, Condition.any_events, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise RuntimeError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not getattr(event, "_defused", True):
+            # Nobody caught this failure: crash loudly.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or queue exhaustion).
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if until is None:
+            stop_at = float("inf")
+        elif isinstance(until, Event):
+            if until.callbacks is None:
+                return until.value
+            until.callbacks.append(self._stop_callback)
+            stop_at = float("inf")
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} is in the past (now={self._now})")
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        if not isinstance(until, Event):
+            # Advance the clock to the requested horizon even if the event
+            # queue drained earlier, so `run(120)` always ends at t=120.
+            if stop_at != float("inf"):
+                self._now = max(self._now, stop_at)
+            return None
+        if not until.triggered:
+            raise RuntimeError("run() ran out of events before `until` fired")
+        return until.value
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        event._defused = True
+        raise event._value

@@ -1,0 +1,304 @@
+"""Shared resources for the simulation kernel.
+
+Three primitives cover everything the HiveMind models need:
+
+- :class:`Resource` — ``capacity`` interchangeable slots with a FIFO (or
+  priority) wait queue. Used for CPU cores, wireless airtime grants, invoker
+  slots.
+- :class:`Container` — a continuous level between 0 and ``capacity``. Used
+  for battery charge and memory pools.
+- :class:`Store` — a queue of discrete items. Used for message buses
+  (Kafka topics), mailboxes, and work queues.
+
+Requests are events: a process does ``yield resource.request()`` (or uses the
+request as a context manager) and resumes once the slot/amount/item is
+granted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from .kernel import Environment, Event
+
+__all__ = ["Resource", "PriorityResource", "Preempted", "Container", "Store"]
+
+
+class Request(Event):
+    """A pending claim on one :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    # Context-manager protocol: ``with res.request() as req: yield req``.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class PriorityRequest(Request):
+    """A request with a priority (lower value = more urgent)."""
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        self.priority = priority
+        self.time = resource.env.now
+        super().__init__(resource)
+
+
+class Preempted(Exception):
+    """Cause attached to an interrupt when a user is preempted."""
+
+    def __init__(self, by: Any, usage_since: float):
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Resource:
+    """``capacity`` interchangeable slots with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous fraction of slots in use."""
+        return len(self.users) / self._capacity
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(req)
+        else:
+            self.queue.append(req)
+
+    def _grant(self, req: Request) -> None:
+        self.users.append(req)
+        req.usage_since = self.env.now
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Return a granted slot; wakes the next queued request."""
+        try:
+            self.users.remove(req)
+        except ValueError:
+            raise RuntimeError("releasing a request that holds no slot")
+        self._wake_next()
+
+    def _wake_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            self._grant(self.queue.popleft())
+
+    def _cancel(self, req: Request) -> None:
+        try:
+            self.queue.remove(req)
+        except ValueError:
+            pass
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity online (elastic pools). Shrinking never evicts
+        current users; it only stops granting until usage drops below the
+        new capacity."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._wake_next()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-``priority`` value first."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: List = []
+        self._tie = itertools.count()
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(req)
+        else:
+            prio = getattr(req, "priority", 0)
+            heapq.heappush(self._heap, (prio, next(self._tie), req))
+
+    def _wake_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _, _, req = heapq.heappop(self._heap)
+            if req.triggered:
+                continue
+            self._grant(req)
+
+    def _cancel(self, req: Request) -> None:
+        self._heap = [(p, t, r) for (p, t, r) in self._heap if r is not req]
+        heapq.heapify(self._heap)
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)
+
+
+class Container:
+    """A continuous quantity between 0 and ``capacity``.
+
+    ``get`` blocks until the requested amount is available; ``put`` blocks
+    until there is headroom. Amounts are floats.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque = deque()
+        self._putters: Deque = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        event.amount = amount
+        self._getters.append(event)
+        self._drain()
+        return event
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        event.amount = amount
+        self._putters.append(event)
+        self._drain()
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking take; returns False (and takes nothing) on shortfall."""
+        if amount <= self._level:
+            self._level -= amount
+            self._drain()
+            return True
+        return False
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and (
+                    self._level + self._putters[0].amount <= self.capacity):
+                event = self._putters.popleft()
+                self._level += event.amount
+                event.succeed(event.amount)
+                progress = True
+            if self._getters and self._getters[0].amount <= self._level:
+                event = self._getters.popleft()
+                self._level -= event.amount
+                event.succeed(event.amount)
+                progress = True
+
+
+class Store:
+    """FIFO queue of discrete items with blocking get/put."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        event.item = item
+        self._putters.append(event)
+        self._drain()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        self._getters.append(event)
+        self._drain()
+        return event
+
+    def get_where(self, predicate: Callable[[Any], bool]) -> Event:
+        """Blocking get of the first item satisfying ``predicate``."""
+        event = Event(self.env)
+        event.predicate = predicate
+        self._getters.append(event)
+        self._drain()
+        return event
+
+    #: Sentinel distinguishing "no match" from a stored None item.
+    _NO_MATCH = object()
+
+    def _match(self, event: Event) -> Any:
+        predicate = getattr(event, "predicate", None)
+        if predicate is None:
+            return self.items.popleft() if self.items else self._NO_MATCH
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[index]
+                return item
+        return self._NO_MATCH
+
+    def _drain(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                event = self._putters.popleft()
+                self.items.append(event.item)
+                event.succeed(event.item)
+                progress = True
+            if self._getters and self.items:
+                # Serve the first getter whose predicate (if any) matches an
+                # item; a predicate getter waiting on a missing item does not
+                # block plain getters behind it.
+                for index, event in enumerate(self._getters):
+                    item = self._match(event)
+                    if item is not self._NO_MATCH:
+                        del self._getters[index]
+                        event.succeed(item)
+                        progress = True
+                        break

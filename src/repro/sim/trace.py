@@ -1,0 +1,76 @@
+"""Lightweight simulation tracing.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples. Models emit
+trace records for the events the telemetry layer aggregates (task begins/ends,
+bytes on the wire, battery draws). Tracing is optional: the no-op
+:class:`NullTracer` costs one attribute lookup per emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Tuple
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    category: str
+    payload: Dict[str, Any]
+
+
+class Tracer:
+    """Accumulates trace records in memory, filterable by category."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+        self._counters: Dict[str, int] = {}
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        self._records.append(TraceRecord(time, category, payload))
+        self._counters[category] = self._counters.get(category, 0) + 1
+
+    def count(self, category: str) -> int:
+        return self._counters.get(category, 0)
+
+    def records(self, category: str = None) -> Iterator[TraceRecord]:
+        if category is None:
+            return iter(self._records)
+        return (r for r in self._records if r.category == category)
+
+    def series(self, category: str, key: str) -> List[Tuple[float, Any]]:
+        """``(time, payload[key])`` pairs for one category."""
+        return [(r.time, r.payload[key]) for r in self.records(category)]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._counters.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class NullTracer:
+    """Tracer that discards everything (default when tracing is off)."""
+
+    def emit(self, time: float, category: str, **payload: Any) -> None:
+        pass
+
+    def count(self, category: str) -> int:
+        return 0
+
+    def records(self, category: str = None):
+        return iter(())
+
+    def series(self, category: str, key: str):
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,23 @@
+"""Telemetry: metric series, latency breakdowns, power and bandwidth meters."""
+
+from .bandwidth import BandwidthMeter
+from .breakdown import COMPONENTS, BreakdownAggregate, LatencyBreakdown
+from .metrics import DistributionSummary, MetricRegistry, MetricSeries
+from .power import BatteryDepleted, EnergyAccount, fleet_consumed_percent
+from .report import format_value, render_series, render_table
+
+__all__ = [
+    "MetricSeries",
+    "MetricRegistry",
+    "DistributionSummary",
+    "LatencyBreakdown",
+    "BreakdownAggregate",
+    "COMPONENTS",
+    "EnergyAccount",
+    "BatteryDepleted",
+    "fleet_consumed_percent",
+    "BandwidthMeter",
+    "render_table",
+    "render_series",
+    "format_value",
+]

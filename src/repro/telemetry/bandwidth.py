@@ -1,0 +1,65 @@
+"""Network bandwidth accounting (Figs 3b, 14b, 17).
+
+A :class:`BandwidthMeter` records byte transfers with timestamps and reduces
+them to the windowed MB/s series the paper plots: average utilization (bars)
+and 99th-percentile window (markers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["BandwidthMeter"]
+
+
+class BandwidthMeter:
+    """Records (time, megabytes) transfer events on one medium."""
+
+    def __init__(self, name: str = "", window_s: float = 1.0):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.window_s = window_s
+        self._events: List[Tuple[float, float]] = []
+
+    def record(self, time: float, megabytes: float) -> None:
+        if megabytes < 0:
+            raise ValueError("megabytes must be non-negative")
+        self._events.append((float(time), float(megabytes)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_mb(self) -> float:
+        return sum(mb for _, mb in self._events)
+
+    def _window_series(self, horizon_s: float = None) -> np.ndarray:
+        """MB transferred per window, padded to the horizon."""
+        if not self._events:
+            return np.zeros(1)
+        times = np.array([t for t, _ in self._events])
+        sizes = np.array([mb for _, mb in self._events])
+        end = horizon_s if horizon_s is not None else float(times.max()) + 1e-9
+        n_windows = max(1, int(math.ceil(end / self.window_s)))
+        series = np.zeros(n_windows)
+        indices = np.minimum((times / self.window_s).astype(int), n_windows - 1)
+        np.add.at(series, indices, sizes)
+        return series / self.window_s  # MB per window -> MB/s
+
+    def mean_mbs(self, horizon_s: float = None) -> float:
+        """Average MB/s over the run (the bars in Fig 14b)."""
+        return float(self._window_series(horizon_s).mean())
+
+    def percentile_mbs(self, q: float, horizon_s: float = None) -> float:
+        """Windowed percentile MB/s (the p99 markers in Fig 14b)."""
+        return float(np.percentile(self._window_series(horizon_s), q))
+
+    def peak_mbs(self, horizon_s: float = None) -> float:
+        return float(self._window_series(horizon_s).max())
+
+    def series_mbs(self, horizon_s: float = None) -> np.ndarray:
+        return self._window_series(horizon_s)

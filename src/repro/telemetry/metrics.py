@@ -1,0 +1,179 @@
+"""Latency/scalar metric collection.
+
+:class:`MetricSeries` accumulates scalar samples and answers the statistics
+the paper's figures report: median, p99, mean, percentile bands for box and
+violin plots. Percentiles use linear interpolation (numpy's default), and an
+empty series raises rather than returning NaN so bugs surface early.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MetricSeries", "DistributionSummary", "MetricRegistry"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """The summary statistics the paper's plots are built from."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count, "mean": self.mean, "std": self.std,
+            "min": self.minimum, "p5": self.p5, "p25": self.p25,
+            "median": self.median, "p75": self.p75, "p90": self.p90,
+            "p95": self.p95, "p99": self.p99, "max": self.maximum,
+        }
+
+
+class MetricSeries:
+    """A named series of scalar samples with optional timestamps."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._values: List[float] = []
+        self._times: List[float] = []
+
+    def add(self, value: float, time: float = math.nan) -> None:
+        self._values.append(float(value))
+        self._times.append(float(time))
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return bool(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def _require_samples(self) -> np.ndarray:
+        if not self._values:
+            raise ValueError(f"metric series {self.name!r} has no samples")
+        return self.values
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self._require_samples(), q))
+
+    @property
+    def mean(self) -> float:
+        return float(self._require_samples().mean())
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def maximum(self) -> float:
+        return float(self._require_samples().max())
+
+    @property
+    def minimum(self) -> float:
+        return float(self._require_samples().min())
+
+    @property
+    def std(self) -> float:
+        return float(self._require_samples().std())
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the variability measure for Fig 6a."""
+        mean = self.mean
+        if mean == 0:
+            return 0.0
+        return self.std / mean
+
+    def iqr(self) -> float:
+        return self.percentile(75) - self.percentile(25)
+
+    def summary(self) -> DistributionSummary:
+        data = self._require_samples()
+        return DistributionSummary(
+            count=len(data),
+            mean=float(data.mean()),
+            std=float(data.std()),
+            minimum=float(data.min()),
+            p5=float(np.percentile(data, 5)),
+            p25=float(np.percentile(data, 25)),
+            median=float(np.percentile(data, 50)),
+            p75=float(np.percentile(data, 75)),
+            p90=float(np.percentile(data, 90)),
+            p95=float(np.percentile(data, 95)),
+            p99=float(np.percentile(data, 99)),
+            maximum=float(data.max()),
+        )
+
+    def histogram(self, bins: int = 40) -> "tuple[np.ndarray, np.ndarray]":
+        """(counts, edges) — the PDF data behind the paper's violin plots."""
+        return np.histogram(self._require_samples(), bins=bins)
+
+    def windowed_counts(self, window_s: float,
+                        horizon_s: Optional[float] = None) -> np.ndarray:
+        """Samples per time window (used for active-task timelines)."""
+        times = self.times
+        times = times[~np.isnan(times)]
+        if times.size == 0:
+            return np.zeros(0)
+        end = horizon_s if horizon_s is not None else float(times.max())
+        n_windows = max(1, int(math.ceil(end / window_s)))
+        counts = np.zeros(n_windows)
+        indices = np.minimum((times / window_s).astype(int), n_windows - 1)
+        for index in indices:
+            counts[index] += 1
+        return counts
+
+
+class MetricRegistry:
+    """Keyed collection of :class:`MetricSeries` (lazily created)."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, MetricSeries] = {}
+
+    def series(self, name: str) -> MetricSeries:
+        found = self._series.get(name)
+        if found is None:
+            found = MetricSeries(name)
+            self._series[name] = found
+        return found
+
+    def add(self, name: str, value: float, time: float = math.nan) -> None:
+        self.series(name).add(value, time)
+
+    def names(self) -> Sequence[str]:
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __getitem__(self, name: str) -> MetricSeries:
+        return self._series[name]

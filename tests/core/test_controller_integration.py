@@ -1,0 +1,96 @@
+"""End-to-end integration of the HiveMind controller's subsystems.
+
+One deployment exercising, together: dispatch with straggler mitigation
+and monitoring overhead, heartbeat-driven failure detection with region
+repartitioning, swarm-wide continuous learning, and controller failover —
+the composition the platform runners rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import DEFAULT, ClusterConstants, PaperConstants
+from repro.core import HiveMindController
+from repro.dsl import DirectiveSet, Learn
+from repro.learning import IdentitySpace
+from repro.serverless import FunctionSpec, InvocationRequest, OpenWhiskPlatform
+from repro.sim import Environment, RandomStreams
+from repro.edge import build_drone_swarm
+
+
+@pytest.fixture
+def deployment():
+    env = Environment()
+    cluster = Cluster(env, ClusterConstants(servers=3, cores_per_server=8))
+    platform = OpenWhiskPlatform(env, cluster, RandomStreams(17),
+                                 scheduler="hivemind", keepalive_s=20.0)
+    swarm = build_drone_swarm(env, DEFAULT, RandomStreams(18))
+    swarm.assign_regions(DEFAULT.field_width_m, DEFAULT.field_height_m)
+    controller = HiveMindController(
+        env, cluster, platform, swarm=swarm,
+        constants=PaperConstants(),
+        rng=np.random.default_rng(19))
+    return env, controller, platform, swarm
+
+
+class TestControllerIntegration:
+    def test_full_stack_mission(self, deployment):
+        env, controller, platform, swarm = deployment
+
+        # Register swarm-wide learning for the recognition task, per the
+        # Learn(recognition, 'Global') directive.
+        directives = DirectiveSet()
+        directives.learning["recognition"] = "global"
+        space = IdentitySpace(8, rng=np.random.default_rng(20))
+        recognizer = controller.learning.register_task(
+            "recognition", space, directives)
+
+        spec = FunctionSpec("recognition")
+        completions = []
+
+        def device_stream(device_id, n_tasks):
+            for index in range(n_tasks):
+                invocation = yield env.process(controller.dispatch(
+                    InvocationRequest(spec, service_s=0.1,
+                                      input_mb=2.0, output_mb=0.1)))
+                recognizer.sight(device_id, index % len(space))
+                completions.append(invocation)
+                yield env.timeout(0.5)
+
+        for device_id in list(swarm.devices)[:6]:
+            env.process(device_stream(device_id, 12))
+
+        # Crash a drone mid-run; the detector must repartition.
+        swarm.fail_device_at("drone0002", at_time=3.0)
+        env.run(until=40.0)
+
+        assert len(completions) == 6 * 12
+        assert "drone0002" in controller.failure_detector.failed
+        assert "drone0002" not in swarm.regions
+        assert controller.route_updates  # heirs got new routes
+        # Learning accumulated swarm-wide.
+        assert recognizer.training_observations("drone0000") > 30
+        # Monitoring sampled throughout.
+        assert controller.monitoring.registry.series("swarm.alive")
+
+    def test_failover_midstream_keeps_serving(self, deployment):
+        env, controller, platform, swarm = deployment
+        spec = FunctionSpec("job")
+        results = []
+
+        def workload():
+            for _ in range(5):
+                invocation = yield env.process(controller.dispatch(
+                    InvocationRequest(spec, service_s=0.05)))
+                results.append(invocation)
+            yield env.process(controller.fail_over())
+            for _ in range(5):
+                invocation = yield env.process(controller.dispatch(
+                    InvocationRequest(spec, service_s=0.05)))
+                results.append(invocation)
+
+        env.run(env.process(workload()))
+        assert len(results) == 10
+        assert controller.failovers == 1
+        assert controller.standbys_remaining == 1

@@ -1,0 +1,301 @@
+"""Tests for the edge layer: world, sensors, devices, drones, cars, swarm."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT, CarConstants, DroneConstants
+from repro.edge import (
+    Camera,
+    Drone,
+    EdgeDevice,
+    FieldWorld,
+    RoboticCar,
+    SensorSuite,
+    Swarm,
+    build_drone_swarm,
+)
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_device(env, rng=None, **overrides):
+    defaults = dict(
+        cpu_cores=1, battery_wh=11.1, motion_power_w=42.0,
+        compute_power_w=6.5, compute_idle_w=1.2, radio_tx_w=4.2,
+        radio_rx_w=1.4, radio_idle_w=0.35, cloud_to_edge_slowdown=9.0)
+    defaults.update(overrides)
+    return EdgeDevice(env, "dev0", rng=rng, **defaults)
+
+
+class TestFieldWorld:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            FieldWorld(0, 10, rng)
+
+    def test_place_items_inside_field(self, rng):
+        world = FieldWorld(100, 50, rng)
+        world.place_items(15)
+        assert world.item_count == 15
+        for x, y in world.items.values():
+            assert 0 <= x <= 100 and 0 <= y <= 50
+
+    def test_place_negative_rejected(self, rng):
+        world = FieldWorld(10, 10, rng)
+        with pytest.raises(ValueError):
+            world.place_items(-1)
+        with pytest.raises(ValueError):
+            world.place_people(-1)
+
+    def test_people_move_when_advanced(self, rng):
+        world = FieldWorld(100, 100, rng)
+        world.place_people(5)
+        before = {p: world.people[p].position for p in world.people}
+        world.advance(10.0)
+        moved = sum(1 for p in world.people
+                    if world.people[p].position != before[p])
+        assert moved == 5
+
+    def test_people_stay_inside_field(self, rng):
+        world = FieldWorld(50, 50, rng)
+        world.place_people(10)
+        for t in range(1, 200, 10):
+            world.advance(float(t))
+        for person in world.people.values():
+            assert 0 <= person.position[0] <= 50
+            assert 0 <= person.position[1] <= 50
+
+    def test_time_cannot_go_backwards(self, rng):
+        world = FieldWorld(10, 10, rng)
+        world.advance(5.0)
+        with pytest.raises(ValueError):
+            world.advance(4.0)
+
+    def test_visibility_window(self, rng):
+        world = FieldWorld(100, 100, rng)
+        world.items[0] = (50.0, 50.0)
+        world.items[1] = (90.0, 90.0)
+        visible = world.visible_items((50, 50), 10, 10)
+        assert visible == [0]
+
+
+class TestCamera:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Camera(0, 2, 6.7, 8.75)
+        with pytest.raises(ValueError):
+            Camera(8, 2, 0, 8.75)
+
+    def test_batch_size_matches_paper_default(self, rng):
+        world = FieldWorld(100, 100, rng)
+        camera = Camera(8, 2.0, 6.7, 8.75)
+        batch = camera.capture_batch("d0", world, (50, 50), 0.0)
+        assert batch.frame_count == 8
+        assert batch.total_mb == 16.0
+
+    def test_batch_sees_items_in_footprint(self, rng):
+        world = FieldWorld(100, 100, rng)
+        world.items[7] = (50.0, 51.0)
+        camera = Camera(8, 2.0, 6.7, 8.75)
+        batch = camera.capture_batch("d0", world, (50, 50), 0.0)
+        assert 7 in batch.item_sightings
+
+    def test_duration_validation(self, rng):
+        camera = Camera(8, 2.0, 6.7, 8.75)
+        world = FieldWorld(10, 10, rng)
+        with pytest.raises(ValueError):
+            camera.capture_batch("d0", world, (5, 5), 0.0, duration_s=0)
+
+
+class TestSensorSuite:
+    def test_readings_plausible(self, rng):
+        suite = SensorSuite(rng)
+        reading = suite.sample(time=100.0, altitude_m=5.0)
+        assert 0 <= reading.humidity_pct <= 100
+        assert 15 < reading.temperature_c < 35
+        assert reading.altitude_m == pytest.approx(5.0, abs=1.0)
+        assert reading.size_mb < 0.01
+
+
+class TestEdgeDevice:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            make_device(env, cpu_cores=0)
+        with pytest.raises(ValueError):
+            make_device(env, cloud_to_edge_slowdown=0)
+
+    def test_execute_applies_slowdown(self, env):
+        device = make_device(env)  # no rng -> deterministic
+
+        def run():
+            spent = yield env.process(device.execute(1.0))
+            return spent
+
+        assert env.run(env.process(run())) == pytest.approx(9.0)
+        assert device.busy_compute_s == pytest.approx(9.0)
+
+    def test_execute_charges_compute_energy(self, env):
+        device = make_device(env)
+        env.run(env.process(device.execute(1.0)))
+        assert device.energy.by_category()["compute"] > 0
+
+    def test_single_core_serializes_tasks(self, env):
+        device = make_device(env)
+        completions = []
+
+        def task():
+            yield env.process(device.execute(1.0))
+            completions.append(env.now)
+
+        env.process(task())
+        env.process(task())
+        env.run()
+        assert completions[1] == pytest.approx(18.0)
+
+    def test_radio_accounting(self, env):
+        device = make_device(env)
+        device.account_tx(10.0)
+        device.account_rx(5.0)
+        assert device.radio_active_s == 15.0
+        assert device.energy.by_category()["radio_tx"] > \
+            device.energy.by_category()["radio_rx"]
+        with pytest.raises(ValueError):
+            device.account_tx(-1)
+
+    def test_finalize_mission_charges_idle(self, env):
+        device = make_device(env)
+        device.start_mission()
+        env.run(until=100.0)
+        span = device.finalize_mission()
+        assert span == pytest.approx(100.0)
+        assert device.energy.by_category()["idle"] > 0
+
+    def test_finalize_without_start_rejected(self, env):
+        device = make_device(env)
+        with pytest.raises(RuntimeError):
+            device.finalize_mission()
+
+
+class TestDrone:
+    def test_fly_route_captures_batches(self, env, rng):
+        world = FieldWorld(100, 100, rng)
+        drone = Drone(env, "drone0", DroneConstants())
+        batches = []
+
+        def run():
+            count = yield env.process(drone.fly_route(
+                [(0, 0), (40, 0)], world, on_batch=batches.append))
+            return count
+
+        count = env.run(env.process(run()))
+        # 40 m at 4 m/s = 10 s of flight = 10 one-second batches.
+        assert count == 10
+        assert len(batches) == 10
+        assert all(b.total_mb == 16.0 for b in batches)
+        assert drone.motion_s >= 10.0
+
+    def test_fly_route_charges_motion_energy(self, env, rng):
+        world = FieldWorld(100, 100, rng)
+        drone = Drone(env, "drone0", DroneConstants())
+        env.run(env.process(drone.fly_route([(0, 0), (20, 0)], world)))
+        assert drone.energy.by_category()["motion"] > 0
+
+    def test_failed_drone_stops_flying(self, env, rng):
+        world = FieldWorld(1000, 1000, rng)
+        drone = Drone(env, "drone0", DroneConstants())
+
+        def killer():
+            yield env.timeout(5.0)
+            drone.fail()
+
+        env.process(killer())
+        env.run(env.process(drone.fly_route([(0, 0), (400, 0)], world)))
+        # 400 m would take 100 s; failure at 5 s stops the mission.
+        assert env.now < 10.0
+
+    def test_custom_resolution(self, env, rng):
+        drone = Drone(env, "d", DroneConstants(), frame_mb=8.0, fps=32)
+        assert drone.camera.frame_mb == 8.0
+        assert drone.camera.fps == 32
+
+    def test_hover(self, env):
+        drone = Drone(env, "d", DroneConstants())
+        env.run(env.process(drone.hover(10)))
+        assert drone.motion_s == pytest.approx(10.0)
+
+
+class TestRoboticCar:
+    def test_drive_to_adjacent_cell(self, env):
+        car = RoboticCar(env, "car0", CarConstants())
+
+        def run():
+            took = yield env.process(car.drive_to_cell((1, 0)))
+            return took
+
+        took = env.run(env.process(run()))
+        assert took == pytest.approx(RoboticCar.CELL_M /
+                                     CarConstants().speed_mps)
+        assert car.cell == (1, 0)
+
+    def test_drive_to_non_adjacent_rejected(self, env):
+        car = RoboticCar(env, "car0", CarConstants())
+        process = env.process(car.drive_to_cell((2, 2)))
+        with pytest.raises(ValueError):
+            env.run(process)
+
+    def test_cars_less_power_constrained_than_drones(self):
+        car, drone = CarConstants(), DroneConstants()
+        assert car.battery_wh > drone.battery_wh
+        assert car.motion_power_w < drone.motion_power_w
+
+
+class TestSwarm:
+    def test_empty_swarm_rejected(self, env):
+        with pytest.raises(ValueError):
+            Swarm(env, [])
+
+    def test_duplicate_ids_rejected(self, env):
+        drones = [Drone(env, "same", DroneConstants()) for _ in range(2)]
+        with pytest.raises(ValueError):
+            Swarm(env, drones)
+
+    def test_build_drone_swarm_size(self, env):
+        swarm = build_drone_swarm(env, DEFAULT, RandomStreams(1))
+        assert len(swarm) == DEFAULT.drone.count
+
+    def test_assign_regions_covers_field(self, env):
+        swarm = build_drone_swarm(env, DEFAULT, RandomStreams(1))
+        swarm.assign_regions(110, 110)
+        total = sum(r.area for regions in swarm.regions.values()
+                    for r in regions)
+        assert total == pytest.approx(110 * 110)
+
+    def test_route_for_unassigned_device(self, env):
+        swarm = build_drone_swarm(env, DEFAULT, RandomStreams(1))
+        with pytest.raises(KeyError):
+            swarm.route_for("drone0000", 6.7)
+
+    def test_heartbeats_flow(self, env):
+        swarm = build_drone_swarm(env, DEFAULT, RandomStreams(1))
+        swarm.start_heartbeats()
+        env.run(until=5.5)
+        # 16 drones x 6 beats (t=0..5).
+        assert len(swarm.heartbeat_bus.items) == 16 * 6
+
+    def test_heartbeats_stop_after_failure(self, env):
+        swarm = build_drone_swarm(env, DEFAULT, RandomStreams(1))
+        swarm.start_heartbeats()
+        swarm.fail_device_at("drone0000", at_time=2.5)
+        env.run(until=10.0)
+        beats = [hb for hb in swarm.heartbeat_bus.items
+                 if hb.device_id == "drone0000"]
+        assert len(beats) == 3  # t = 0, 1, 2
+        assert len(swarm.alive_devices) == 15

@@ -1,0 +1,115 @@
+"""Shape tests for the platform-comparison figures (fig04/11/12/13/14).
+
+These run each harness at reduced cost and assert the paper's headline
+shapes (the benchmarks run the full configurations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig04_centralized_vs_distributed,
+    fig11_performance,
+    fig12_breakdown,
+    fig13_ablation,
+    fig14_power_bandwidth,
+)
+
+APP_KEYS = [f"S{i}" for i in range(1, 11)]
+
+
+@pytest.fixture(scope="module")
+def fig11_result():
+    return fig11_performance.run(duration_s=40.0)
+
+
+@pytest.fixture(scope="module")
+def fig13_result():
+    return fig13_ablation.run(duration_s=40.0, include_scenarios=False)
+
+
+class TestFig04:
+    def test_exceptions_hold(self):
+        result = fig04_centralized_vs_distributed.run(
+            duration_s=40.0, scenario_repeats=1)
+        assert result.data["S4:distributed_edge"].median < \
+            result.data["S4:centralized_faas"].median
+        assert result.data["S1:distributed_edge"].median > \
+            2 * result.data["S1:centralized_faas"].median
+
+
+class TestFig11:
+    def test_hivemind_wins_every_heavy_job(self, fig11_result):
+        for key in ("S1", "S2", "S5", "S6", "S8", "S9", "S10"):
+            hivemind = fig11_result.data[f"{key}:hivemind"].median
+            centralized = fig11_result.data[
+                f"{key}:centralized_faas"].median
+            assert hivemind < centralized
+
+    def test_hivemind_tighter_distribution(self, fig11_result):
+        tighter = sum(
+            1 for key in APP_KEYS
+            if fig11_result.data[f"{key}:hivemind"].std <
+            fig11_result.data[f"{key}:centralized_faas"].std)
+        assert tighter >= 8
+
+    def test_average_improvement_magnitude(self, fig11_result):
+        ratios = [fig11_result.data[f"{k}:centralized_faas"].median /
+                  fig11_result.data[f"{k}:hivemind"].median
+                  for k in APP_KEYS]
+        assert float(np.mean(ratios)) > 1.2
+
+
+class TestFig12:
+    def test_network_share_collapses(self):
+        result = fig12_breakdown.run(duration_s=40.0)
+        centralized = np.mean([
+            result.data[f"{k}:centralized_faas"]["mean_network"]
+            for k in APP_KEYS])
+        hivemind = np.mean([
+            result.data[f"{k}:hivemind"]["mean_network"]
+            for k in APP_KEYS])
+        assert hivemind < 0.6 * centralized
+
+
+class TestFig13:
+    def test_no_single_technique_suffices(self, fig13_result):
+        def mean(config):
+            return np.mean([fig13_result.data[f"{k}:{config}"]["median_s"]
+                            for k in APP_KEYS])
+
+        hivemind = mean("hivemind")
+        assert hivemind <= mean("centralized_net_accel") * 1.02
+        assert hivemind <= mean("hivemind_no_accel") * 1.02
+        assert hivemind <= mean("distributed_net_accel") * 1.02
+
+    def test_acceleration_useless_for_distributed(self, fig13_result):
+        def mean(config):
+            return np.mean([fig13_result.data[f"{k}:{config}"]["median_s"]
+                            for k in APP_KEYS])
+
+        assert abs(mean("distributed_net_accel") -
+                   mean("distributed_edge")) < 0.1 * mean(
+                       "distributed_edge")
+
+
+class TestFig14:
+    def test_bandwidth_and_battery_orderings(self):
+        result = fig14_power_bandwidth.run(duration_s=40.0)
+        bw_centralized = np.mean([
+            result.data[f"{k}:centralized_faas"]["bandwidth_mean_mbs"]
+            for k in APP_KEYS])
+        bw_hivemind = np.mean([
+            result.data[f"{k}:hivemind"]["bandwidth_mean_mbs"]
+            for k in APP_KEYS])
+        bw_distributed = np.mean([
+            result.data[f"{k}:distributed_edge"]["bandwidth_mean_mbs"]
+            for k in APP_KEYS])
+        assert bw_centralized > bw_hivemind > bw_distributed
+        battery_distributed = np.mean([
+            result.data[f"{k}:distributed_edge"]["battery_mean_pct"]
+            for k in APP_KEYS])
+        battery_hivemind = np.mean([
+            result.data[f"{k}:hivemind"]["battery_mean_pct"]
+            for k in APP_KEYS])
+        assert battery_distributed > battery_hivemind

@@ -1,0 +1,103 @@
+"""Robustness: multi-tenancy and seed stability of the headline results."""
+
+import pytest
+
+from repro.apps import SCENARIO_A, app
+from repro.cluster import Cluster
+from repro.config import DEFAULT, ClusterConstants
+from repro.platforms import ScenarioRunner, SingleTierRunner, platform_config
+from repro.serverless import FunctionSpec, InvocationRequest, OpenWhiskPlatform
+from repro.sim import Environment, RandomStreams
+
+
+class TestMultiTenancy:
+    """Section 2.1: "the platform supports multi-tenancy" — two tenants
+    share the serverless cloud; core pinning keeps them from corrupting
+    each other's latency beyond the modeled interference."""
+
+    def test_two_tenants_share_the_platform(self):
+        env = Environment()
+        cluster = Cluster(env, ClusterConstants(servers=4,
+                                                cores_per_server=16))
+        platform = OpenWhiskPlatform(env, cluster, RandomStreams(31),
+                                     keepalive_s=20.0)
+        latencies = {"a": [], "b": []}
+
+        def tenant(name, service_s, n_tasks):
+            spec = FunctionSpec(f"tenant-{name}", image=f"{name}-image")
+            for _ in range(n_tasks):
+                invocation = yield env.process(platform.invoke(
+                    InvocationRequest(spec, service_s=service_s)))
+                latencies[name].append(invocation.latency_s)
+                yield env.timeout(0.2)
+
+        env.process(tenant("a", 0.1, 40))
+        env.process(tenant("b", 0.4, 40))
+        env.run()
+        assert len(latencies["a"]) == len(latencies["b"]) == 40
+        # Tenant A's light tasks are not dragged to tenant B's weight:
+        # cores are pinned, never shared.
+        import numpy as np
+        assert np.median(latencies["a"]) < 0.5 * np.median(latencies["b"])
+
+    def test_tenants_never_share_a_core(self):
+        """Total concurrent executions never exceed total cores."""
+        env = Environment()
+        constants = ClusterConstants(servers=1, cores_per_server=4)
+        cluster = Cluster(env, constants)
+        platform = OpenWhiskPlatform(env, cluster, RandomStreams(32))
+        overcommit = []
+
+        def watchdog():
+            while True:
+                busy = sum(s.busy_cores for s in cluster.servers.values())
+                if busy > 4:
+                    overcommit.append(busy)
+                yield env.timeout(0.05)
+
+        def tenant(name):
+            spec = FunctionSpec(name, image=f"{name}-image")
+            for _ in range(10):
+                yield env.process(platform.invoke(
+                    InvocationRequest(spec, service_s=0.3)))
+
+        env.process(watchdog())
+        for name in ("a", "b", "c"):
+            env.process(tenant(name))
+        env.run(until=30.0)
+        assert not overcommit
+
+
+class TestSeedStability:
+    """The headline orderings must hold across seeds, not just seed 0."""
+
+    @pytest.mark.parametrize("seed", [0, 101, 9999])
+    def test_fig1_ordering_stable(self, seed):
+        makespans = {}
+        for platform in ("centralized_faas", "distributed_edge",
+                         "hivemind"):
+            result = ScenarioRunner(platform_config(platform), SCENARIO_A,
+                                    seed=seed).run()
+            makespans[platform] = result.extras["makespan_s"]
+        assert makespans["hivemind"] < makespans["centralized_faas"]
+        assert makespans["hivemind"] < makespans["distributed_edge"]
+
+    @pytest.mark.parametrize("seed", [0, 77])
+    def test_heavy_app_ordering_stable(self, seed):
+        cloud = SingleTierRunner(platform_config("centralized_faas"),
+                                 app("S1"), seed=seed,
+                                 duration_s=30.0).run()
+        edge = SingleTierRunner(platform_config("distributed_edge"),
+                                app("S1"), seed=seed,
+                                duration_s=30.0).run()
+        assert edge.median_latency_s > 2 * cloud.median_latency_s
+
+    def test_identical_seed_identical_results(self):
+        """Full determinism: same seed, same numbers, to the last bit."""
+        first = SingleTierRunner(platform_config("hivemind"), app("S1"),
+                                 seed=5, duration_s=20.0).run()
+        second = SingleTierRunner(platform_config("hivemind"), app("S1"),
+                                  seed=5, duration_s=20.0).run()
+        assert list(first.task_latencies.values) == \
+            list(second.task_latencies.values)
+        assert first.battery_summary() == second.battery_summary()

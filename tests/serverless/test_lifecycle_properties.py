@@ -1,0 +1,75 @@
+"""Property-based tests on the serverless platform's bookkeeping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.config import ClusterConstants
+from repro.serverless import FunctionSpec, InvocationRequest, OpenWhiskPlatform
+from repro.sim import Environment, RandomStreams
+
+
+def run_workload(seed, services, gaps, keepalive_s, fault_rate=0.0):
+    env = Environment()
+    cluster = Cluster(env, ClusterConstants(servers=3, cores_per_server=8))
+    platform = OpenWhiskPlatform(env, cluster, RandomStreams(seed),
+                                 keepalive_s=keepalive_s,
+                                 fault_rate=fault_rate)
+    spec = FunctionSpec("job")
+
+    def driver():
+        for service, gap in zip(services, gaps):
+            yield env.process(platform.invoke(
+                InvocationRequest(spec, service_s=service)))
+            yield env.timeout(gap)
+
+    env.run(env.process(driver()))
+    return platform
+
+
+class TestPlatformInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100),
+           st.lists(st.floats(0.01, 0.5), min_size=1, max_size=25),
+           st.floats(0.1, 10.0))
+    def test_start_accounting_conserved(self, seed, services, keepalive):
+        """Every invocation is exactly one cold or one warm start."""
+        gaps = [0.3] * len(services)
+        platform = run_workload(seed, services, gaps, keepalive)
+        assert platform.cold_starts + platform.warm_starts == len(services)
+        assert platform.cold_starts >= 1  # the first is always cold
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100),
+           st.lists(st.floats(0.01, 0.4), min_size=1, max_size=20))
+    def test_active_tasks_return_to_zero(self, seed, services):
+        platform = run_workload(seed, services, [0.2] * len(services), 5.0)
+        assert platform.active_tasks == 0
+        counts = [count for _, count in platform.active_samples]
+        assert min(counts) == 0
+        assert all(count >= 0 for count in counts)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100),
+           st.floats(0.01, 0.25))
+    def test_faults_never_lose_tasks(self, seed, fault_rate):
+        services = [0.1] * 25
+        platform = run_workload(seed, services, [0.05] * 25, 10.0,
+                                fault_rate=fault_rate)
+        assert len(platform.invocations) == 25
+        assert all(inv.t_complete >= inv.t_arrive
+                   for inv in platform.invocations)
+        assert platform.respawns == sum(inv.failures
+                                        for inv in platform.invocations)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100))
+    def test_latency_decomposition_consistent(self, seed):
+        """Breakdown components sum to at most the end-to-end latency
+        (queueing for cores is the only uncharged slice)."""
+        platform = run_workload(seed, [0.2] * 15, [0.1] * 15, 5.0)
+        for invocation in platform.invocations:
+            assert invocation.breakdown.total <= \
+                invocation.latency_s + 1e-9
+            assert invocation.instantiation_s <= \
+                invocation.breakdown.management + 1e-9

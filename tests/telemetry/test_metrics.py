@@ -1,0 +1,112 @@
+"""Tests for MetricSeries / MetricRegistry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import MetricRegistry, MetricSeries
+
+
+class TestMetricSeries:
+    def test_empty_series_raises(self):
+        series = MetricSeries("empty")
+        with pytest.raises(ValueError):
+            _ = series.median
+
+    def test_len_and_bool(self):
+        series = MetricSeries()
+        assert not series
+        series.add(1.0)
+        assert series and len(series) == 1
+
+    def test_median_of_known_values(self):
+        series = MetricSeries()
+        series.extend([1, 2, 3, 4, 5])
+        assert series.median == 3
+
+    def test_percentiles_monotone(self):
+        series = MetricSeries()
+        series.extend(range(100))
+        assert series.percentile(5) <= series.median <= series.p99
+
+    def test_mean_std(self):
+        series = MetricSeries()
+        series.extend([2, 4, 6, 8])
+        assert series.mean == 5
+        assert series.std == pytest.approx(np.std([2, 4, 6, 8]))
+
+    def test_cv_zero_mean(self):
+        series = MetricSeries()
+        series.extend([0, 0])
+        assert series.cv == 0.0
+
+    def test_cv_positive(self):
+        series = MetricSeries()
+        series.extend([1, 3])
+        assert series.cv == pytest.approx(1.0 / 2.0)
+
+    def test_summary_fields_consistent(self):
+        series = MetricSeries()
+        series.extend(np.linspace(0, 10, 101))
+        summary = series.summary()
+        assert summary.count == 101
+        assert summary.minimum == 0
+        assert summary.maximum == 10
+        assert summary.p25 <= summary.median <= summary.p75
+        assert set(summary.as_dict()) == {
+            "count", "mean", "std", "min", "p5", "p25", "median",
+            "p75", "p90", "p95", "p99", "max"}
+
+    def test_histogram_total(self):
+        series = MetricSeries()
+        series.extend(range(50))
+        counts, edges = series.histogram(bins=10)
+        assert counts.sum() == 50
+        assert len(edges) == 11
+
+    def test_windowed_counts(self):
+        series = MetricSeries()
+        for t in (0.1, 0.2, 1.5, 2.9):
+            series.add(1.0, time=t)
+        counts = series.windowed_counts(window_s=1.0, horizon_s=4.0)
+        assert list(counts) == [2, 1, 1, 0]
+
+    def test_windowed_counts_no_times(self):
+        series = MetricSeries()
+        series.add(1.0)  # NaN time
+        assert series.windowed_counts(1.0).size == 0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_percentile_bounds_property(self, values):
+        series = MetricSeries()
+        series.extend(values)
+        assert series.minimum <= series.median <= series.maximum
+        assert series.minimum <= series.p99 <= series.maximum
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_mean_within_bounds_property(self, values):
+        series = MetricSeries()
+        series.extend(values)
+        assert series.minimum - 1e-9 <= series.mean <= series.maximum + 1e-9
+
+
+class TestMetricRegistry:
+    def test_lazy_creation(self):
+        registry = MetricRegistry()
+        assert "latency" not in registry
+        registry.add("latency", 1.0)
+        assert "latency" in registry
+        assert registry["latency"].mean == 1.0
+
+    def test_same_series_returned(self):
+        registry = MetricRegistry()
+        assert registry.series("x") is registry.series("x")
+
+    def test_names_sorted(self):
+        registry = MetricRegistry()
+        registry.add("b", 1)
+        registry.add("a", 1)
+        assert list(registry.names()) == ["a", "b"]

@@ -1,0 +1,105 @@
+"""Edge-case tests for paths the mainline suites do not reach."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConstants, DroneConstants
+from repro.core import HiveMindController, LoadBalancer
+from repro.edge import Drone
+from repro.routing import Maze, WallFollower, generate_maze
+from repro.serverless import FunctionSpec, InvocationRequest, OpenWhiskPlatform
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestControllerWithoutSubsystems:
+    def test_dispatch_without_mitigation_or_monitoring(self, env):
+        cluster = Cluster(env, ClusterConstants(servers=2,
+                                                cores_per_server=4))
+        platform = OpenWhiskPlatform(env, cluster, RandomStreams(2))
+        controller = HiveMindController(
+            env, cluster, platform,
+            enable_monitoring=False,
+            enable_straggler_mitigation=False,
+            enable_fault_tolerance=False)
+        assert controller.monitoring is None
+        assert controller.straggler is None
+        assert controller.failure_detector is None
+
+        def run():
+            invocation = yield env.process(controller.dispatch(
+                InvocationRequest(FunctionSpec("f"), service_s=0.05)))
+            return invocation
+
+        assert env.run(env.process(run())).t_complete > 0
+
+
+class TestBatteryWeightedAssign:
+    def test_most_charged_device_chosen(self, env):
+        balancer = LoadBalancer("battery_weighted")
+        drones = [Drone(env, f"d{i}", DroneConstants()) for i in range(3)]
+        drones[0].energy.draw_power("motion", 42, 200)
+        drones[2].energy.draw_power("motion", 42, 100)
+        # d1 is untouched: the fullest battery wins.
+        assert balancer.assign(drones).device_id == "d1"
+
+
+class TestWallFollowerLimits:
+    def test_step_limit_enforced(self):
+        # A 2x2 maze where the goal is intentionally unreachable within
+        # the tiny step budget.
+        import numpy as np
+        maze = generate_maze(6, 6, np.random.default_rng(4))
+        follower = WallFollower(maze, (0, 0), (5, 5))
+        with pytest.raises(RuntimeError):
+            follower.solve(max_steps=1)
+
+    def test_sealed_cell_detected(self):
+        maze = Maze(3, 3)  # no passages carved at all
+        follower = WallFollower(maze, (0, 0), (2, 2))
+        with pytest.raises(RuntimeError):
+            follower.step()
+
+
+class TestMemoryStarvation:
+    def test_cold_start_waits_for_memory_without_warm_victims(self, env):
+        """A server with no reclaimable memory delays (not deadlocks) a
+        new container until a running one finishes."""
+        constants = ClusterConstants(servers=1, cores_per_server=4,
+                                     ram_gb_per_server=0.26)  # ~1 container
+        cluster = Cluster(env, constants)
+        platform = OpenWhiskPlatform(env, cluster, RandomStreams(3),
+                                     keepalive_s=0.05)
+        completions = []
+
+        def task(name):
+            invocation = yield env.process(platform.invoke(
+                InvocationRequest(FunctionSpec(name, image=f"{name}-img"),
+                                  service_s=0.4)))
+            completions.append((name, env.now))
+
+        env.process(task("first"))
+        env.process(task("second"))
+        env.run(until=30.0)
+        assert len(completions) == 2
+        # The second had to wait for the first container's memory.
+        assert completions[1][1] > completions[0][1] + 0.3
+
+
+class TestDistributionSummaryRoundTrip:
+    def test_windowed_counts_horizon_padding(self):
+        from repro.telemetry import MetricSeries
+        series = MetricSeries()
+        series.add(1.0, time=0.5)
+        counts = series.windowed_counts(window_s=1.0, horizon_s=5.0)
+        assert list(counts) == [1, 0, 0, 0, 0]
+
+    def test_iqr(self):
+        from repro.telemetry import MetricSeries
+        series = MetricSeries()
+        series.extend(range(101))
+        assert series.iqr() == pytest.approx(50.0)
