@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""30-second kernel/harness perf smoke.
+
+Runs the fixed deterministic smoke workload (see
+``repro.experiments.bench.SMOKE_FIGURES``) and appends one timing record
+per figure — wall seconds, kernel events, events/second — to
+``BENCH_kernel.json`` at the repo root, so the kernel's performance
+trajectory accumulates run over run.
+
+Equivalent to ``python -m repro.experiments --bench-smoke``. Needs
+``src`` on ``PYTHONPATH`` (or the package installed).
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["--bench-smoke"] + sys.argv[1:]))

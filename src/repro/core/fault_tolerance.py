@@ -36,13 +36,15 @@ class FailureDetector:
         self.last_beat: Dict[str, float] = {
             device_id: 0.0 for device_id in swarm.devices}
         self.failed: List[str] = []
-        self._consumer = env.process(self._consume())
+        # Observe beats synchronously instead of running a consumer process
+        # over the heartbeat bus: each update lands at the same simulated
+        # instant the bus hand-off would deliver it, without the per-beat
+        # put/get event traffic.
+        swarm.subscribe_heartbeats(self._observe)
         self._checker = env.process(self._check())
 
-    def _consume(self) -> Generator:
-        while True:
-            beat = yield self.swarm.heartbeat_bus.get()
-            self.last_beat[beat.device_id] = beat.time
+    def _observe(self, beat) -> None:
+        self.last_beat[beat.device_id] = beat.time
 
     def _check(self) -> Generator:
         timeout = self.constants.heartbeat_timeout_s

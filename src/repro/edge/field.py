@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +43,9 @@ class FieldWorld:
         self.items: Dict[int, Point] = {}
         self.people: Dict[int, Person] = {}
         self._clock = 0.0
+        #: Lazily built uniform grid over the (static) items: cell -> ids.
+        self._item_grid: Optional[Dict[Tuple[int, int], List[int]]] = None
+        self._cell_m = 1.0
 
     def _random_point(self) -> Point:
         return (float(self._rng.uniform(0, self.width_m)),
@@ -55,6 +58,7 @@ class FieldWorld:
         start = len(self.items)
         for index in range(start, start + count):
             self.items[index] = self._random_point()
+        self._item_grid = None
 
     def place_people(self, count: int, speed_mps: float = 1.2) -> None:
         """Scatter ``count`` walkers uniformly (Scenario B)."""
@@ -101,11 +105,48 @@ class FieldWorld:
         return (abs(point[0] - center[0]) <= width_m / 2 and
                 abs(point[1] - center[1]) <= depth_m / 2)
 
+    def _build_item_grid(self) -> Dict[Tuple[int, int], List[int]]:
+        """Bucket the stationary items into a uniform grid so footprint
+        queries touch only nearby cells instead of scanning every item.
+
+        Cell size tracks the field so the grid stays a few hundred cells
+        regardless of scale. Ids within a cell are in insertion (== sorted)
+        order, so a sorted merge of cell hits reproduces the exact output
+        of the full scan.
+        """
+        self._cell_m = max(1.0, min(self.width_m, self.height_m) / 32.0)
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        cell_m = self._cell_m
+        for item_id, (x, y) in self.items.items():
+            grid.setdefault((int(x / cell_m), int(y / cell_m)),
+                            []).append(item_id)
+        self._item_grid = grid
+        return grid
+
     def visible_items(self, center: Point, width_m: float,
                       depth_m: float) -> List[int]:
         """Item ids inside an axis-aligned camera footprint."""
-        return [item_id for item_id, point in self.items.items()
-                if self._in_footprint(point, center, width_m, depth_m)]
+        grid = self._item_grid
+        if grid is None:
+            grid = self._build_item_grid()
+        cell_m = self._cell_m
+        half_w = width_m / 2
+        half_d = depth_m / 2
+        cx, cy = center
+        x_lo = int(max(0.0, cx - half_w) / cell_m)
+        x_hi = int(max(0.0, cx + half_w) / cell_m)
+        y_lo = int(max(0.0, cy - half_d) / cell_m)
+        y_hi = int(max(0.0, cy + half_d) / cell_m)
+        items = self.items
+        hits: List[int] = []
+        for gx in range(x_lo, x_hi + 1):
+            for gy in range(y_lo, y_hi + 1):
+                for item_id in grid.get((gx, gy), ()):
+                    x, y = items[item_id]
+                    if abs(x - cx) <= half_w and abs(y - cy) <= half_d:
+                        hits.append(item_id)
+        hits.sort()
+        return hits
 
     def visible_people(self, center: Point, width_m: float,
                        depth_m: float) -> List[int]:

@@ -2,19 +2,23 @@
 
 ``python -m repro.experiments --list`` enumerates the available figures;
 ``python -m repro.experiments all`` runs every harness (slow);
-``--csv DIR`` additionally writes each figure's rows to ``DIR/<fig>.csv``.
+``--csv DIR`` additionally writes each figure's rows to ``DIR/<fig>.csv``;
+``--workers N`` fans the parallel-aware harnesses out over N processes
+(numeric results are identical at any worker count);
+``--bench-smoke`` runs the fixed ~30 s smoke workload and appends its
+timings to ``BENCH_kernel.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import inspect
 import pathlib
 import sys
-import time
 
 from .common import ExperimentResult
-from .registry import experiment_ids, run_experiment
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
 
 
 def write_csv(result: ExperimentResult, directory: str) -> str:
@@ -40,7 +44,22 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write each figure's rows to DIR")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for parallel-aware "
+                             "figures (default: one per core)")
+    parser.add_argument("--bench-smoke", action="store_true",
+                        help="run the ~30s perf smoke workload and append "
+                             "its timings to BENCH_kernel.json")
     args = parser.parse_args(argv)
+
+    if args.bench_smoke:
+        from .bench import bench_path, run_smoke
+        for record in run_smoke(max_workers=args.workers):
+            print(f"{record['label']}: {record['wall_s']}s, "
+                  f"{record['sim_events']} events "
+                  f"({record['events_per_s']}/s)")
+        print(f"[trajectory appended to {bench_path()}]")
+        return 0
 
     if args.list or args.figure is None:
         print("Available experiments:")
@@ -50,12 +69,16 @@ def main(argv=None) -> int:
 
     figures = experiment_ids() if args.figure == "all" else [args.figure]
     for figure in figures:
-        start = time.time()
-        result = run_experiment(figure, base_seed=args.seed)
+        options = {"base_seed": args.seed}
+        runner_params = inspect.signature(EXPERIMENTS[figure]).parameters
+        if args.workers is not None and "max_workers" in runner_params:
+            options["max_workers"] = args.workers
+        result = run_experiment(figure, **options)
         print(result.render())
         if args.csv:
             print(f"[csv written to {write_csv(result, args.csv)}]")
-        print(f"[{figure} completed in {time.time() - start:.1f}s]\n")
+        print(f"[{figure} completed in {result.elapsed_s:.1f}s, "
+              f"{result.sim_events} kernel events]\n")
     return 0
 
 

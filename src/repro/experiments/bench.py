@@ -1,0 +1,97 @@
+"""Kernel/harness performance trajectory (``BENCH_kernel.json``).
+
+Timings for the same deterministic workloads, appended run over run, so
+kernel regressions show up as a bend in the trajectory rather than being
+discovered months later. The benchmark suite (``benchmarks/conftest.py``)
+records every figure it runs; ``python -m repro.experiments --bench-smoke``
+records a ~30 s fixed smoke workload on demand.
+
+Records are self-describing: label, wall seconds, kernel events dispatched
+(pool workers included), derived events/second, worker/core counts. The
+events/second figure is the machine-independent-ish one — wall seconds
+shift with the host, events do not (simulations are deterministic).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List, Optional
+
+from . import parallel
+from .registry import run_experiment
+
+__all__ = ["bench_path", "load_bench", "record_bench", "run_smoke"]
+
+#: The fixed smoke workload: small deterministic figure harnesses that
+#: together exercise every platform and both scenarios in ~30 s.
+SMOKE_FIGURES = (
+    ("fig17a", {}),
+    ("fig04", {}),
+    ("fig01", {"repeats": 1, "n_small": 16, "n_large": 128}),
+)
+
+
+def bench_path(path: Optional[str] = None) -> pathlib.Path:
+    """Trajectory file: explicit arg, ``REPRO_BENCH_FILE``, or repo root."""
+    if path is not None:
+        return pathlib.Path(path)
+    configured = os.environ.get("REPRO_BENCH_FILE")
+    if configured:
+        return pathlib.Path(configured)
+    return pathlib.Path(__file__).resolve().parents[3] / "BENCH_kernel.json"
+
+
+def load_bench(path: Optional[str] = None) -> Dict[str, Any]:
+    target = bench_path(path)
+    if target.exists():
+        with open(target) as handle:
+            return json.load(handle)
+    return {"runs": []}
+
+
+def record_bench(label: str, wall_s: float, sim_events: int,
+                 path: Optional[str] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Append one timing record to the trajectory file and return it."""
+    record: Dict[str, Any] = {
+        "label": label,
+        "date": datetime.date.today().isoformat(),
+        "wall_s": round(wall_s, 3),
+        "sim_events": int(sim_events),
+        "events_per_s": (round(sim_events / wall_s) if wall_s > 0 else 0),
+        "cores": os.cpu_count() or 1,
+    }
+    if extra:
+        record.update(extra)
+    trajectory = load_bench(path)
+    trajectory.setdefault("runs", []).append(record)
+    target = bench_path(path)
+    with open(target, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    return record
+
+
+def run_smoke(max_workers: Optional[int] = None,
+              path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Run the fixed smoke workload, appending one record per figure."""
+    records = []
+    workers = (parallel.default_workers()
+               if max_workers is None else max_workers)
+    for figure, options in SMOKE_FIGURES:
+        opts = dict(options)
+        opts["max_workers"] = max_workers
+        result = run_experiment(figure, **opts)
+        records.append(record_bench(
+            f"smoke:{figure}", result.elapsed_s, result.sim_events,
+            path=path, extra={"workers": workers}))
+    total_wall = sum(r["wall_s"] for r in records)
+    total_events = sum(r["sim_events"] for r in records)
+    records.append(record_bench(
+        "smoke:total", total_wall, total_events, path=path,
+        extra={"workers": workers}))
+    return records

@@ -11,11 +11,12 @@ the full harness runnable in minutes; pass ``repeats=...`` for more.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..telemetry import render_table
+from .parallel import run_replicas
 
 __all__ = ["ExperimentResult", "mean_over_seeds", "summarize_runs"]
 
@@ -30,6 +31,11 @@ class ExperimentResult:
     rows: List[List[Any]]
     #: Free-form per-figure payloads (series, tallies) for assertions.
     data: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock seconds the harness took (filled in by the registry).
+    elapsed_s: float = 0.0
+    #: Kernel events dispatched while producing this result, pool workers
+    #: included (filled in by the registry).
+    sim_events: int = 0
 
     def render(self) -> str:
         return render_table(self.headers, self.rows,
@@ -56,9 +62,16 @@ def mean_over_seeds(values: Sequence[float]) -> float:
 
 
 def summarize_runs(run_factory: Callable[[int], Any],
-                   repeats: int, base_seed: int = 0) -> List[Any]:
-    """Run ``repeats`` replicas with distinct seeds."""
+                   repeats: int, base_seed: int = 0,
+                   max_workers: Optional[int] = None) -> List[Any]:
+    """Run ``repeats`` replicas with distinct seeds, replica order kept.
+
+    Replicas fan out over a process pool when ``run_factory`` is picklable
+    (module-level functions — closures fall back to in-process execution);
+    the seed schedule and result order are identical either way.
+    """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
-    return [run_factory(base_seed + 1000 * replica)
-            for replica in range(repeats)]
+    return [task.value for task in
+            run_replicas(run_factory, repeats, base_seed,
+                         max_workers=max_workers)]

@@ -10,32 +10,47 @@ execution time but burns the most battery of the scalable systems.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..apps import SCENARIO_A
 from ..platforms import ScenarioRunner, platform_config
-from .common import ExperimentResult, mean_over_seeds, summarize_runs
+from .common import ExperimentResult, mean_over_seeds
+from .parallel import replica_seeds, run_sweep
 
 PLATFORM_ORDER = ("centralized_iaas", "centralized_faas",
                   "distributed_edge", "hivemind")
 
 
+def _replica(seed: int, platform: str,
+             n_devices: int) -> Tuple[float, float]:
+    """One (makespan, consumed-battery) sample — picklable pool cell."""
+    result = ScenarioRunner(
+        platform_config(platform), SCENARIO_A, seed=seed,
+        n_devices=n_devices).run()
+    return (result.extras["makespan_s"], result.battery_summary()[0])
+
+
 def run(repeats: int = 2, n_small: int = 16, n_large: int = 1000,
-        base_seed: int = 0) -> ExperimentResult:
+        base_seed: int = 0,
+        max_workers: Optional[int] = None) -> ExperimentResult:
+    # Every (swarm size, platform, replica) cell is independent, so the
+    # whole grid is one flat sweep: the pool stays busy across groups
+    # instead of draining per-platform.
+    seeds = replica_seeds(repeats, base_seed)
+    cells = [(seed, name, n_devices)
+             for n_devices in (n_small, n_large)
+             for name in PLATFORM_ORDER
+             for seed in seeds]
+    samples = run_sweep(_replica, cells, max_workers=max_workers)
+
     rows: List[List] = []
     data: Dict[str, Dict] = {}
+    by_group = iter(samples)
     for n_devices in (n_small, n_large):
         for name in PLATFORM_ORDER:
-            config = platform_config(name)
-            results = summarize_runs(
-                lambda seed: ScenarioRunner(
-                    config, SCENARIO_A, seed=seed,
-                    n_devices=n_devices).run(),
-                repeats, base_seed)
-            exec_time = mean_over_seeds(
-                [r.extras["makespan_s"] for r in results])
-            battery = mean_over_seeds(
-                [r.battery_summary()[0] for r in results])
+            group = [next(by_group).value for _ in seeds]
+            exec_time = mean_over_seeds([m for m, _ in group])
+            battery = mean_over_seeds([b for _, b in group])
             rows.append([f"n={n_devices}:{name}", n_devices, name,
                          round(exec_time, 1), round(battery, 1)])
             data[f"{n_devices}:{name}"] = {

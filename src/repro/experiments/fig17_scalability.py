@@ -16,34 +16,58 @@ versus the centralized system's explosion (cf. Fig 1 bottom).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps import SCENARIO_A, SCENARIO_B
 from ..platforms import ScenarioRunner, platform_config
 from .common import ExperimentResult
+from .parallel import run_sweep
 
 RESOLUTIONS: Sequence[Tuple[float, float]] = (
     (0.5, 8), (1.0, 8), (2.0, 8), (4.0, 8), (8.0, 8), (8.0, 16), (8.0, 32))
 
+_SCENARIOS = {s.key: s for s in (SCENARIO_A, SCENARIO_B)}
 
-def run_resolution(base_seed: int = 0) -> ExperimentResult:
+
+def _resolution_cell(scenario_key: str, frame_mb: float, fps: float,
+                     seed: int) -> Tuple[float, float, float]:
+    """(bandwidth mean, task p99, makespan) — picklable pool cell."""
+    result = ScenarioRunner(
+        platform_config("hivemind"), _SCENARIOS[scenario_key], seed=seed,
+        frame_mb=frame_mb, fps=fps).run()
+    bw_mean, _ = result.bandwidth_summary()
+    return (bw_mean, result.task_latencies.p99,
+            result.extras["makespan_s"])
+
+
+def _swarm_cell(platform: str, scenario_key: str, n_devices: int,
+                seed: int) -> Tuple[float, float, float]:
+    """(bandwidth mean, task p99, makespan) — picklable pool cell."""
+    result = ScenarioRunner(
+        platform_config(platform), _SCENARIOS[scenario_key], seed=seed,
+        n_devices=n_devices).run()
+    bw_mean, _ = result.bandwidth_summary()
+    return (bw_mean, result.task_latencies.p99,
+            result.extras["makespan_s"])
+
+
+def run_resolution(base_seed: int = 0,
+                   max_workers: Optional[int] = None) -> ExperimentResult:
     """Fig 17a."""
-    config = platform_config("hivemind")
+    cells = [(scenario.key, frame_mb, fps, base_seed)
+             for scenario in (SCENARIO_A, SCENARIO_B)
+             for frame_mb, fps in RESOLUTIONS]
+    samples = run_sweep(_resolution_cell, cells, max_workers=max_workers)
+
     rows: List[List] = []
     data: Dict[str, Dict] = {}
-    for scenario in (SCENARIO_A, SCENARIO_B):
-        for frame_mb, fps in RESOLUTIONS:
-            result = ScenarioRunner(
-                config, scenario, seed=base_seed,
-                frame_mb=frame_mb, fps=fps).run()
-            bw_mean, bw_tail = result.bandwidth_summary()
-            tail_s = result.task_latencies.p99
-            key = f"{scenario.key}:{frame_mb}MB@{int(fps)}fps"
-            rows.append([key, round(bw_mean, 1),
-                         round(tail_s, 2),
-                         round(result.extras["makespan_s"], 1)])
-            data[key] = {"bandwidth_mbs": bw_mean, "tail_s": tail_s,
-                         "makespan_s": result.extras["makespan_s"]}
+    for (scenario_key, frame_mb, fps, _), sample in zip(cells, samples):
+        bw_mean, tail_s, makespan_s = sample.value
+        key = f"{scenario_key}:{frame_mb}MB@{int(fps)}fps"
+        rows.append([key, round(bw_mean, 1), round(tail_s, 2),
+                     round(makespan_s, 1)])
+        data[key] = {"bandwidth_mbs": bw_mean, "tail_s": tail_s,
+                     "makespan_s": makespan_s}
     return ExperimentResult(
         figure="fig17a",
         title="HiveMind bandwidth/latency vs resolution",
@@ -55,41 +79,34 @@ def run_resolution(base_seed: int = 0) -> ExperimentResult:
 
 def run_swarm_size(sizes: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
                    base_seed: int = 0,
-                   include_centralized_upto: int = 256
+                   include_centralized_upto: int = 256,
+                   max_workers: Optional[int] = None
                    ) -> ExperimentResult:
     """Fig 17b (the paper sweeps to 8k; default here caps at 1k for
     runtime — pass a larger ``sizes`` for the full sweep)."""
-    rows: List[List] = []
-    data: Dict[str, Dict] = {}
+    cells: List[Tuple[str, str, int, int]] = []
     for scenario in (SCENARIO_A, SCENARIO_B):
         for n_devices in sizes:
-            result = ScenarioRunner(
-                platform_config("hivemind"), scenario, seed=base_seed,
-                n_devices=n_devices).run()
-            bw_mean, _ = result.bandwidth_summary()
-            key = f"{scenario.key}:hivemind:{n_devices}"
-            rows.append([key, n_devices, round(bw_mean, 1),
-                         round(result.task_latencies.p99, 2),
-                         round(result.extras["makespan_s"], 1)])
-            data[key] = {
-                "bandwidth_mbs": bw_mean,
-                "tail_s": result.task_latencies.p99,
-                "makespan_s": result.extras["makespan_s"],
-            }
+            cells.append(("hivemind", scenario.key, n_devices, base_seed))
             if n_devices <= include_centralized_upto:
-                comparison = ScenarioRunner(
-                    platform_config("centralized_faas"), scenario,
-                    seed=base_seed, n_devices=n_devices).run()
-                bw_centralized, _ = comparison.bandwidth_summary()
-                ckey = f"{scenario.key}:centralized:{n_devices}"
-                rows.append([ckey, n_devices, round(bw_centralized, 1),
-                             round(comparison.task_latencies.p99, 2),
-                             round(comparison.extras["makespan_s"], 1)])
-                data[ckey] = {
-                    "bandwidth_mbs": bw_centralized,
-                    "tail_s": comparison.task_latencies.p99,
-                    "makespan_s": comparison.extras["makespan_s"],
-                }
+                cells.append(("centralized_faas", scenario.key, n_devices,
+                              base_seed))
+    samples = run_sweep(_swarm_cell, cells, max_workers=max_workers)
+
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for (platform, scenario_key, n_devices, _), sample in zip(cells,
+                                                              samples):
+        bw_mean, tail_s, makespan_s = sample.value
+        label = "hivemind" if platform == "hivemind" else "centralized"
+        key = f"{scenario_key}:{label}:{n_devices}"
+        rows.append([key, n_devices, round(bw_mean, 1), round(tail_s, 2),
+                     round(makespan_s, 1)])
+        data[key] = {
+            "bandwidth_mbs": bw_mean,
+            "tail_s": tail_s,
+            "makespan_s": makespan_s,
+        }
     return ExperimentResult(
         figure="fig17b",
         title="Scalability with swarm size",
@@ -100,5 +117,6 @@ def run_swarm_size(sizes: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024),
     )
 
 
-def run(base_seed: int = 0) -> ExperimentResult:
-    return run_resolution(base_seed=base_seed)
+def run(base_seed: int = 0,
+        max_workers: Optional[int] = None) -> ExperimentResult:
+    return run_resolution(base_seed=base_seed, max_workers=max_workers)

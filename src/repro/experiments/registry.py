@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List
 
 from . import (
@@ -20,6 +21,7 @@ from . import (
     fig18_validation,
 )
 from .common import ExperimentResult
+from .parallel import total_events_consumed
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
@@ -51,9 +53,19 @@ def experiment_ids() -> List[str]:
 
 
 def run_experiment(figure: str, **options) -> ExperimentResult:
-    """Run one figure's harness by id (e.g. ``"fig11"``)."""
+    """Run one figure's harness by id (e.g. ``"fig11"``).
+
+    The returned result carries wall-clock seconds and the number of
+    kernel events dispatched (pool workers included) in ``elapsed_s`` /
+    ``sim_events``.
+    """
     runner = EXPERIMENTS.get(figure)
     if runner is None:
         raise KeyError(
             f"unknown experiment {figure!r}; valid: {experiment_ids()}")
-    return runner(**options)
+    events_before = total_events_consumed()
+    start = time.perf_counter()
+    result = runner(**options)
+    result.elapsed_s = time.perf_counter() - start
+    result.sim_events = total_events_consumed() - events_before
+    return result

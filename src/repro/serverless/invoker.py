@@ -69,19 +69,25 @@ class Invoker:
 
     # -- warm pool ----------------------------------------------------------
     def _reap_expired(self) -> None:
+        # Every container in a pool shares this invoker's keepalive, so a
+        # pool is sorted by expiry (appended at completion time, removals
+        # keep the order): only an expired *prefix* can exist, which makes
+        # reaping O(expired) instead of a full scan per invocation.
         now = self.env.now
-        for image, pool in list(self._warm.items()):
-            keep = []
+        for image in [image for image, pool in self._warm.items()
+                      if pool and pool[0].is_expired(now)]:
+            pool = self._warm[image]
+            drop = 0
             for container in pool:
-                if container.is_expired(now):
-                    container.mark_terminated()
-                    self.server.free_memory(container.memory_mb)
-                else:
-                    keep.append(container)
-            if keep:
-                self._warm[image] = keep
-            else:
+                if not container.is_expired(now):
+                    break
+                container.mark_terminated()
+                self.server.free_memory(container.memory_mb)
+                drop += 1
+            if drop == len(pool):
                 del self._warm[image]
+            else:
+                del pool[:drop]
 
     def take_warm(self, request: InvocationRequest,
                   prefer: Optional[FunctionContainer] = None

@@ -27,8 +27,18 @@ from .kernel import Environment, Event
 __all__ = ["Resource", "PriorityResource", "Preempted", "Container", "Store"]
 
 
+class _FlowEvent(Event):
+    """Container/Store bookkeeping event; the pending amount/item/predicate
+    rides along in dedicated slots (the kernel's :class:`Event` is slotted,
+    so arbitrary attributes cannot be attached)."""
+
+    __slots__ = ("amount", "item", "predicate")
+
+
 class Request(Event):
     """A pending claim on one :class:`Resource` slot."""
+
+    __slots__ = ("resource", "usage_since")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
@@ -50,6 +60,8 @@ class Request(Event):
 
 class PriorityRequest(Request):
     """A request with a priority (lower value = more urgent)."""
+
+    __slots__ = ("priority", "time")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         self.priority = priority
@@ -193,7 +205,7 @@ class Container:
     def get(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        event = Event(self.env)
+        event = _FlowEvent(self.env)
         event.amount = amount
         self._getters.append(event)
         self._drain()
@@ -202,7 +214,7 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        event = Event(self.env)
+        event = _FlowEvent(self.env)
         event.amount = amount
         self._putters.append(event)
         self._drain()
@@ -249,21 +261,21 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> Event:
-        event = Event(self.env)
+        event = _FlowEvent(self.env)
         event.item = item
         self._putters.append(event)
         self._drain()
         return event
 
     def get(self) -> Event:
-        event = Event(self.env)
+        event = _FlowEvent(self.env)
         self._getters.append(event)
         self._drain()
         return event
 
     def get_where(self, predicate: Callable[[Any], bool]) -> Event:
         """Blocking get of the first item satisfying ``predicate``."""
-        event = Event(self.env)
+        event = _FlowEvent(self.env)
         event.predicate = predicate
         self._getters.append(event)
         self._drain()

@@ -8,6 +8,7 @@ empty series raises rather than returning NaN so bugs surface early.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -44,42 +45,92 @@ class DistributionSummary:
 
 
 class MetricSeries:
-    """A named series of scalar samples with optional timestamps."""
+    """A named series of scalar samples with optional timestamps.
+
+    Samples live in an amortized-growth numpy buffer so the statistics
+    below (recomputed per invocation by e.g. the straggler watchdog) never
+    pay a list-to-array conversion on the hot path.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._values: List[float] = []
-        self._times: List[float] = []
+        self._buffer = np.empty(64, dtype=float)
+        self._time_buffer = np.empty(64, dtype=float)
+        self._count = 0
+        #: Sorted copy of the samples, maintained lazily for percentiles.
+        self._sorted: List[float] = []
 
     def add(self, value: float, time: float = math.nan) -> None:
-        self._values.append(float(value))
-        self._times.append(float(time))
+        count = self._count
+        buffer = self._buffer
+        if count == buffer.shape[0]:
+            self._buffer = buffer = np.concatenate(
+                [buffer, np.empty(buffer.shape[0], dtype=float)])
+            self._time_buffer = np.concatenate(
+                [self._time_buffer,
+                 np.empty(self._time_buffer.shape[0], dtype=float)])
+        buffer[count] = value
+        self._time_buffer[count] = time
+        self._count = count + 1
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
             self.add(value)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._count
 
     def __bool__(self) -> bool:
-        return bool(self._values)
+        return self._count > 0
 
     @property
     def values(self) -> np.ndarray:
-        return np.asarray(self._values, dtype=float)
+        return self._buffer[:self._count]
 
     @property
     def times(self) -> np.ndarray:
-        return np.asarray(self._times, dtype=float)
+        return self._time_buffer[:self._count]
 
     def _require_samples(self) -> np.ndarray:
-        if not self._values:
+        if not self._count:
             raise ValueError(f"metric series {self.name!r} has no samples")
-        return self.values
+        return self._buffer[:self._count]
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self._require_samples(), q))
+        """Linear-interpolation percentile, bit-identical to
+        ``np.percentile(..., method="linear")``.
+
+        Hot-path friendly: the sorted view is maintained incrementally
+        (``bisect.insort`` per new sample when queried after every add, as
+        the straggler watchdog does; a full re-sort after bulk appends), so
+        each query is O(1) instead of an O(n) selection over a fresh array.
+        """
+        count = self._count
+        if not count:
+            raise ValueError(f"metric series {self.name!r} has no samples")
+        sorted_values = self._sorted
+        stale = count - len(sorted_values)
+        if stale:
+            if stale <= 16:
+                buffer = self._buffer
+                for index in range(count - stale, count):
+                    bisect.insort(sorted_values, float(buffer[index]))
+            else:
+                sorted_values = self._buffer[:count].tolist()
+                sorted_values.sort()
+                self._sorted = sorted_values
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        # numpy's "linear" method: virtual index q/100*(n-1), then
+        # lerp(a, b, t) computed from b's side once t >= 0.5.
+        virtual = (q / 100.0) * (count - 1)
+        previous = math.floor(virtual)
+        t = virtual - previous
+        a = sorted_values[previous]
+        b = sorted_values[math.ceil(virtual)]
+        if t < 0.5:
+            return a + (b - a) * t
+        return b - (b - a) * (1 - t)
 
     @property
     def mean(self) -> float:

@@ -1,0 +1,36 @@
+"""Tests for the BENCH_kernel.json trajectory helpers."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import bench_path, load_bench, record_bench
+
+pytestmark = pytest.mark.quick
+
+
+def test_record_appends_to_trajectory(tmp_path):
+    target = tmp_path / "BENCH_kernel.json"
+    first = record_bench("unit:first", 2.0, 1000, path=str(target))
+    assert first["events_per_s"] == 500
+    record_bench("unit:second", 1.0, 300, path=str(target))
+    stored = json.loads(target.read_text())
+    assert [r["label"] for r in stored["runs"]] == [
+        "unit:first", "unit:second"]
+    assert stored["runs"][0]["wall_s"] == 2.0
+    assert stored["runs"][0]["cores"] >= 1
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert load_bench(str(tmp_path / "absent.json")) == {"runs": []}
+
+
+def test_env_var_redirects_path(monkeypatch, tmp_path):
+    redirected = tmp_path / "custom.json"
+    monkeypatch.setenv("REPRO_BENCH_FILE", str(redirected))
+    assert bench_path() == redirected
+
+
+def test_default_path_is_repo_root(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_FILE", raising=False)
+    assert bench_path().name == "BENCH_kernel.json"
