@@ -69,11 +69,9 @@ class HiveMindController:
     def dispatch(self, request: InvocationRequest) -> Generator:
         """Process: run one cloud task through straggler mitigation."""
         if self.straggler is not None:
-            invocation = yield self.env.process(
-                self.straggler.invoke(request))
+            invocation = yield from self.straggler.invoke(request)
         else:
-            invocation = yield self.env.process(
-                self.platform.invoke(request))
+            invocation = yield from self.platform.invoke(request)
         if self.monitoring is not None:
             # Monitoring's (verified-negligible) latency overhead.
             extra = invocation.latency_s * \

@@ -59,7 +59,10 @@ class FailureDetector:
     def _declare_failed(self, device_id: str) -> None:
         self.failed.append(device_id)
         device = self.swarm.devices[device_id]
-        device.alive = False  # the controller stops dispatching to it
+        # Route through fail() so in-flight work reacts (the vectorized
+        # engine truncates an armed analytic leg from the fail hook); the
+        # controller stops dispatching to it either way.
+        device.fail()
         new_assignment = self._repartition(device_id)
         if self.on_failure is not None:
             self.on_failure(device_id, new_assignment)

@@ -6,8 +6,10 @@ from .drone import Drone
 from .field import FieldWorld, Person
 from .sensors import Camera, FrameBatch, SensorReading, SensorSuite
 from .swarm import Heartbeat, Swarm, build_drone_swarm
+from .engine import SwarmEngine
 
 __all__ = [
+    "SwarmEngine",
     "EdgeDevice",
     "Drone",
     "RoboticCar",

@@ -9,7 +9,7 @@ aggregate.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Tuple
+from typing import Callable, Generator, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,9 @@ class EdgeDevice:
         self._rng = rng
         self.position: Point = (0.0, 0.0)
         self.alive = True
+        #: Invoked synchronously by :meth:`fail` — the vectorized engine
+        #: hangs an analytic-leg truncation here while a leg is in flight.
+        self._fail_hook: Optional[Callable[[], None]] = None
         # Activity accounting for the lazy idle-draw settlement.
         self.busy_compute_s = 0.0
         self.radio_active_s = 0.0
@@ -63,6 +66,9 @@ class EdgeDevice:
     def fail(self) -> None:
         """Device failure (crash, dead battery, lost link)."""
         self.alive = False
+        hook = self._fail_hook
+        if hook is not None:
+            hook()
 
     def finalize_mission(self, end_time: Optional[float] = None) -> float:
         """Settle idle energy draws for the mission window; returns span.
@@ -105,10 +111,14 @@ class EdgeDevice:
         with self.cores.request() as grant:
             yield grant
             yield self.env.timeout(service)
-        self.busy_compute_s += service
-        self.energy.draw_power("compute",
-                               self.compute_power_w - self.compute_idle_w,
-                               service)
+        if self.alive:
+            # A device that failed mid-service produced nothing; charging
+            # its battery (and its busy-compute ledger) for the aborted
+            # work would double-bill the post-mortem idle settlement.
+            self.busy_compute_s += service
+            self.energy.draw_power(
+                "compute", self.compute_power_w - self.compute_idle_w,
+                service)
         return service
 
     # -- radio ------------------------------------------------------------

@@ -77,6 +77,9 @@ class Drone(EdgeDevice):
             if self.alive and self.constants.turn_time_s > 0:
                 yield self.env.timeout(self.constants.turn_time_s)
                 self.account_motion(self.constants.turn_time_s)
+                # Keep the world clock current across the turn so the
+                # first capture of the next leg doesn't see a stale field.
+                world.advance(self.env.now)
         return batches
 
     def _fly_leg(self, target: Point, world: FieldWorld,
@@ -87,7 +90,10 @@ class Drone(EdgeDevice):
         while self.alive:
             dx = target[0] - self.position[0]
             dy = target[1] - self.position[1]
-            distance = math.hypot(dx, dy)
+            # sqrt-of-squares rather than math.hypot: both are correctly
+            # rounded for these magnitudes, but only this form matches the
+            # vectorized engine's np.sqrt(dx*dx + dy*dy) bit-for-bit.
+            distance = math.sqrt(dx * dx + dy * dy)
             if distance < 1e-9:
                 break
             step_s = min(1.0, distance / self.speed_mps)

@@ -1,0 +1,484 @@
+"""Vectorized swarm stepping: array-backed flight state, batched ticks.
+
+The legacy flight model (:meth:`~repro.edge.drone.Drone.fly_route`) runs one
+generator process per drone and pushes one kernel event through the heap per
+drone per simulated second. At fig17 scale (hundreds to thousands of drones,
+all released at t=0 and therefore tick-synchronized) that is O(N) events per
+instant carrying O(1) of actual work each.
+
+:class:`SwarmEngine` replaces those processes with a single action heap:
+
+- Device kinematics (position, leg target, speed) live in numpy arrays
+  indexed by flight slot; each engine *wake* advances every device due at
+  that instant with one batch of array ops.
+- One kernel event is armed per **distinct** due instant, not per device:
+  a synchronized 256-drone cohort costs one wake where the legacy path
+  costs 256 timeout dispatches.
+- Straight legs flown without capture are integrated **analytically**: the
+  whole leg becomes a single event at its final tick boundary, with the
+  per-tick position/energy arithmetic replayed at settlement so the energy
+  ledger stays bit-identical to the tick-by-tick path.
+- Heartbeats are absorbed into the same action heap (one wake per beat
+  instant for the whole swarm) and emit the same :class:`Heartbeat`
+  objects to the same sinks/bus.
+
+Determinism contract (PR 1's, extended): at fixed seeds a run through the
+engine produces byte-identical figure rows to the legacy per-device
+processes. The engine guarantees this by
+
+1. replaying the exact scalar arithmetic of the legacy tick loop — numpy's
+   elementwise ``+ - * / sqrt minimum`` on float64 are the same correctly
+   rounded IEEE-754 operations as Python's scalar float math, so the
+   vector and scalar paths produce identical bits (the legacy leg distance
+   switched from ``math.hypot`` to ``sqrt(dx*dx + dy*dy)`` for the same
+   reason);
+2. assigning every armed action a monotone sequence number at arm time —
+   the engine-internal mirror of the kernel's event id — and dispatching
+   same-instant actions in sequence order, which reproduces the legacy
+   creation-order semantics (beats re-armed before ticks keep firing
+   before ticks, a turn armed before a tick keeps preceding it, ...);
+3. arming each kernel wake with the same *delay* float the legacy code
+   passed to ``timeout()``, so wake instants are the exact same doubles
+   as the legacy arrival instants;
+4. keeping every observable side effect — ``account_motion`` draws,
+   ``world.advance`` calls, ``capture_batch``/``on_batch`` invocations,
+   shared-RNG draw order, resource request order — in the same per-device
+   order as the legacy dispatch sequence.
+
+The kill switch: ``ScenarioRunner(..., vector_edge=False)``,
+``REPRO_VECTOR_EDGE=0`` in the environment, or ``--no-vector-edge`` on the
+experiments CLI all fall back to the legacy per-device processes.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from heapq import heappop, heappush
+from itertools import count
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim import Environment
+from .drone import Drone
+from .field import FieldWorld
+from .sensors import FrameBatch
+from .swarm import Heartbeat, Swarm
+
+__all__ = ["SwarmEngine"]
+
+Point = Tuple[float, float]
+BatchCallback = Callable[[FrameBatch], None]
+
+#: Action kinds on the engine heap. A tick is the landing of an in-flight
+#: 1-second step; a turn is the end of an inter-leg turn penalty; a beat is
+#: one device's heartbeat; a settle is the landing of an analytic leg.
+_TICK, _TURN, _BEAT, _SETTLE = 0, 1, 2, 3
+
+#: Cohorts at least this large take the numpy path; smaller ones use the
+#: scalar loop (identical IEEE-754 results, less fixed overhead).
+_VECTOR_MIN = 8
+
+#: Same leg-complete threshold as the legacy tick loop.
+_EPS = 1e-9
+
+
+class _Flight:
+    """Mutable per-route state for one device flown by the engine."""
+
+    __slots__ = ("drone", "world", "on_batch", "capture", "waypoints",
+                 "wp_index", "event", "batches", "slot", "pending_s", "gen",
+                 "leg_steps", "leg_arrivals", "leg_positions")
+
+    def __init__(self, drone: Drone, world: FieldWorld,
+                 on_batch: Optional[BatchCallback], capture: bool,
+                 waypoints: List[Point], event) -> None:
+        self.drone = drone
+        self.world = world
+        self.on_batch = on_batch
+        self.capture = capture
+        self.waypoints = waypoints
+        self.wp_index = 0
+        self.event = event
+        self.batches = 0
+        self.slot = -1
+        #: Duration of the step currently in flight (armed as a _TICK).
+        self.pending_s = 0.0
+        #: Generation counter; bumping it invalidates armed actions that
+        #: still carry the old value (analytic-leg truncation on failure).
+        self.gen = 0
+        # Analytic-leg replay (step durations, arrival instants, per-tick
+        # positions) — populated only while a _SETTLE action is armed.
+        self.leg_steps: Optional[List[float]] = None
+        self.leg_arrivals: Optional[List[float]] = None
+        self.leg_positions: Optional[List[Point]] = None
+
+
+class _BeatLoop:
+    """One device's recurring heartbeat action."""
+
+    __slots__ = ("swarm", "device")
+
+    def __init__(self, swarm: Swarm, device) -> None:
+        self.swarm = swarm
+        self.device = device
+
+
+class SwarmEngine:
+    """Array-backed swarm stepper sharing one action heap per environment."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        #: Pending actions: (time, seq, kind, payload, gen). ``seq`` is
+        #: unique, so heap order is exactly (time, seq) — the engine's
+        #: mirror of the kernel's (time, priority, eid) dispatch order.
+        self._actions: List = []
+        self._seq = count()
+        #: Absolute instants that already have a kernel wake scheduled.
+        self._armed = set()
+        # Flight-slot arrays: position, leg target, cruise speed.
+        capacity = 16
+        self._px = np.zeros(capacity)
+        self._py = np.zeros(capacity)
+        self._tx = np.zeros(capacity)
+        self._ty = np.zeros(capacity)
+        self._speed = np.zeros(capacity)
+        self._free = list(range(capacity - 1, -1, -1))
+        # Telemetry for the benchmark harness.
+        self.wakes = 0
+        self.actions_run = 0
+        self.analytic_legs = 0
+
+    # -- public API ---------------------------------------------------------
+    def fly_route(self, drone: Drone, waypoints: List[Point],
+                  world: FieldWorld,
+                  on_batch: Optional[BatchCallback] = None,
+                  capture: bool = True):
+        """Fly ``waypoints`` through the engine; replaces
+        ``env.process(drone.fly_route(...))``.
+
+        Returns an :class:`~repro.sim.Event` that succeeds with the number
+        of batches captured, at the same instant the legacy process would
+        have terminated.
+        """
+        event = self.env.event()
+        if not waypoints:
+            event.succeed(0)
+            return event
+        flight = _Flight(drone, world, on_batch, capture,
+                         waypoints, event)
+        flight.slot = self._alloc_slot()
+        drone.position = waypoints[0]
+        self._px[flight.slot], self._py[flight.slot] = waypoints[0]
+        self._speed[flight.slot] = drone.speed_mps
+        self._next_leg(flight)
+        return event
+
+    def add_heartbeats(self, swarm: Swarm) -> None:
+        """Run the swarm's 1 Hz heartbeat protocol off the action heap.
+
+        Emits the same :class:`Heartbeat` objects to the same sinks (or
+        the bus) at the same instants as ``Swarm.start_heartbeats``, but
+        all devices beating at one instant share a single kernel event.
+        """
+        for device in swarm.devices.values():
+            self._arm(0.0, _BEAT, _BeatLoop(swarm, device), 0)
+
+    # -- slots ------------------------------------------------------------
+    def _alloc_slot(self) -> int:
+        if not self._free:
+            old = len(self._px)
+            new = old * 2
+            for name in ("_px", "_py", "_tx", "_ty", "_speed"):
+                grown = np.zeros(new)
+                grown[:old] = getattr(self, name)
+                setattr(self, name, grown)
+            self._free.extend(range(new - 1, old - 1, -1))
+        return self._free.pop()
+
+    # -- scheduling ----------------------------------------------------------
+    def _arm(self, delay: float, kind: int, payload, gen: int) -> None:
+        """Arm one action ``delay`` seconds from now.
+
+        The wake instant is computed with the same ``now + delay`` float
+        expression the kernel uses, so engine actions land on exactly the
+        doubles the legacy per-device timeouts would have landed on — and
+        all actions sharing an instant share one kernel event.
+        """
+        time = self.env.now + delay
+        heappush(self._actions, (time, next(self._seq), kind, payload, gen))
+        if time not in self._armed:
+            self._armed.add(time)
+            wake = self.env.timeout(delay)
+            wake.callbacks.append(self._wake)
+
+    def _wake(self, _event) -> None:
+        now = self.env.now
+        self._armed.discard(now)
+        self.wakes += 1
+        actions = self._actions
+        due = []
+        while actions and actions[0][0] <= now:
+            due.append(heappop(actions))
+        self.actions_run += len(due)
+        index, n = 0, len(due)
+        while index < n:
+            kind = due[index][2]
+            if kind == _TICK:
+                stop = index + 1
+                while stop < n and due[stop][2] == _TICK:
+                    stop += 1
+                self._tick_cohort([entry[3] for entry in due[index:stop]])
+                index = stop
+                continue
+            _, _, _, payload, gen = due[index]
+            index += 1
+            if kind == _BEAT:
+                self._do_beat(payload)
+            elif gen != payload.gen:
+                continue  # cancelled (analytic leg truncated)
+            elif kind == _TURN:
+                self._end_turn(payload)
+            else:
+                self._settle_leg(payload)
+
+    # -- ticks ------------------------------------------------------------
+    def _tick_cohort(self, flights: List[_Flight]) -> None:
+        """Land the in-flight step of every due flight, then arm the next.
+
+        Phase 1 mirrors the legacy post-``yield`` sequence per device, in
+        arm order: motion accounting, world clock, capture + callback.
+        Phase 2 computes every survivor's next step in one batch of array
+        ops, then applies results (or leg-boundary handling) per device,
+        again in arm order.
+        """
+        env = self.env
+        now = env.now
+        for flight in flights:
+            drone = flight.drone
+            step = flight.pending_s
+            drone.account_motion(step)
+            flight.world.advance(now)
+            if flight.capture and step >= 0.5:
+                batch = drone.camera.capture_batch(
+                    drone.device_id, flight.world, drone.position, now,
+                    duration_s=step)
+                flight.batches += 1
+                if flight.on_batch is not None:
+                    flight.on_batch(batch)
+        live = [flight for flight in flights if flight.drone.alive]
+        vector = len(live) >= _VECTOR_MIN
+        if vector:
+            idx = np.array([flight.slot for flight in live], dtype=np.intp)
+            px = self._px[idx]
+            py = self._py[idx]
+            dx = self._tx[idx] - px
+            dy = self._ty[idx] - py
+            dist = np.sqrt(dx * dx + dy * dy)
+            done = dist < _EPS
+            speed = self._speed[idx]
+            step_s = np.minimum(1.0, dist / speed)
+            step_m = speed * step_s
+            # Done lanes never read their fraction; keep them finite.
+            frac = np.minimum(1.0, step_m / np.where(done, 1.0, dist))
+            new_x = px + frac * dx
+            new_y = py + frac * dy
+        cursor = 0
+        for flight in flights:
+            if not flight.drone.alive:
+                # Legacy loop-top `while self.alive` break: the landed tick
+                # was accounted above, no turn follows, the route ends now.
+                self._complete(flight)
+                continue
+            if vector:
+                if done[cursor]:
+                    self._end_of_leg(flight)
+                else:
+                    self._advance_tick(flight, float(step_s[cursor]),
+                                       float(new_x[cursor]),
+                                       float(new_y[cursor]))
+                cursor += 1
+            else:
+                self._step_or_finish(flight)
+
+    def _step_or_finish(self, flight: _Flight) -> None:
+        """Scalar twin of the vectorized phase-2 kinematics."""
+        drone = flight.drone
+        px, py = drone.position
+        dx = self._tx[flight.slot] - px
+        dy = self._ty[flight.slot] - py
+        dist = math.sqrt(dx * dx + dy * dy)
+        if dist < _EPS:
+            self._end_of_leg(flight)
+            return
+        speed = drone.speed_mps
+        step_s = min(1.0, dist / speed)
+        step_m = speed * step_s
+        frac = min(1.0, step_m / dist)
+        self._advance_tick(flight, step_s, px + frac * dx, py + frac * dy)
+
+    def _advance_tick(self, flight: _Flight, step_s: float,
+                      new_x: float, new_y: float) -> None:
+        # Position moves at arm time, before the wait — the legacy loop
+        # updates `self.position` and then yields, so a capture at the
+        # landing instant sees the already-moved position.
+        flight.drone.position = (new_x, new_y)
+        self._px[flight.slot] = new_x
+        self._py[flight.slot] = new_y
+        flight.pending_s = step_s
+        self._arm(step_s, _TICK, flight, flight.gen)
+
+    # -- leg boundaries ---------------------------------------------------
+    def _end_of_leg(self, flight: _Flight) -> None:
+        """Leg finished with the device alive: pay the turn penalty."""
+        turn = flight.drone.constants.turn_time_s
+        if turn > 0:
+            self._arm(turn, _TURN, flight, flight.gen)
+        else:
+            self._next_leg(flight)
+
+    def _end_turn(self, flight: _Flight) -> None:
+        drone = flight.drone
+        turn = drone.constants.turn_time_s
+        # The turn completes (and is charged) even if the device died
+        # mid-turn — exactly the legacy sequence.
+        drone.account_motion(turn)
+        flight.world.advance(self.env.now)
+        self._next_leg(flight)
+
+    def _next_leg(self, flight: _Flight) -> None:
+        """Enter the next leg, mirroring ``fly_route``'s for-loop body."""
+        drone = flight.drone
+        waypoints = flight.waypoints
+        while True:
+            flight.wp_index += 1
+            if flight.wp_index >= len(waypoints) or not drone.alive:
+                self._complete(flight)
+                return
+            target = waypoints[flight.wp_index]
+            self._tx[flight.slot], self._ty[flight.slot] = target
+            px, py = drone.position
+            dx = target[0] - px
+            dy = target[1] - py
+            dist = math.sqrt(dx * dx + dy * dy)
+            if dist < _EPS:
+                # Zero-length leg: no tick, but the turn still applies.
+                turn = drone.constants.turn_time_s
+                if turn > 0:
+                    self._arm(turn, _TURN, flight, flight.gen)
+                    return
+                continue
+            if not flight.capture and not drone.energy.strict:
+                self._start_analytic(flight, target)
+                return
+            speed = drone.speed_mps
+            step_s = min(1.0, dist / speed)
+            step_m = speed * step_s
+            frac = min(1.0, step_m / dist)
+            self._advance_tick(flight, step_s, px + frac * dx,
+                               py + frac * dy)
+            return
+
+    # -- analytic legs -----------------------------------------------------
+    def _start_analytic(self, flight: _Flight, target: Point) -> None:
+        """Integrate a capture-free leg as one event at its final tick.
+
+        The per-tick trajectory is replayed *numerically* up front (same
+        floats, same order as the legacy loop) so the arrival instant and
+        final position are bit-identical; the per-tick energy draws are
+        replayed at settlement, keeping the ledger's float accumulation
+        sequence intact. Restricted to non-strict batteries because the
+        draws land at the leg boundary rather than mid-leg, which would
+        move a strict battery's depletion instant.
+        """
+        drone = flight.drone
+        speed = drone.speed_mps
+        px, py = drone.position
+        tx, ty = target
+        t = self.env.now
+        steps: List[float] = []
+        arrivals: List[float] = []
+        positions: List[Point] = []
+        while True:
+            dx = tx - px
+            dy = ty - py
+            dist = math.sqrt(dx * dx + dy * dy)
+            if dist < _EPS:
+                break
+            step_s = min(1.0, dist / speed)
+            step_m = speed * step_s
+            frac = min(1.0, step_m / dist)
+            px = px + frac * dx
+            py = py + frac * dy
+            t = t + step_s
+            steps.append(step_s)
+            arrivals.append(t)
+            positions.append((px, py))
+        flight.leg_steps = steps
+        flight.leg_arrivals = arrivals
+        flight.leg_positions = positions
+        flight.gen += 1
+        self.analytic_legs += 1
+        drone._fail_hook = lambda: self._truncate_analytic(flight)
+        self._arm(arrivals[-1] - self.env.now, _SETTLE, flight, flight.gen)
+
+    def _truncate_analytic(self, flight: _Flight) -> None:
+        """Device failed mid-leg: cut the analytic leg at the tick boundary.
+
+        Called synchronously from :meth:`EdgeDevice.fail`. The legacy loop
+        lets the in-flight tick land (accounting included) before the
+        alive check breaks it, so the leg is truncated at the first tick
+        arrival at or after the failure instant.
+        """
+        flight.drone._fail_hook = None
+        arrivals = flight.leg_arrivals
+        cut = min(bisect_left(arrivals, self.env.now), len(arrivals) - 1)
+        flight.leg_steps = flight.leg_steps[:cut + 1]
+        flight.leg_arrivals = arrivals[:cut + 1]
+        flight.leg_positions = flight.leg_positions[:cut + 1]
+        flight.gen += 1
+        self._arm(arrivals[cut] - self.env.now, _SETTLE, flight, flight.gen)
+
+    def _settle_leg(self, flight: _Flight) -> None:
+        drone = flight.drone
+        drone._fail_hook = None
+        for step_s in flight.leg_steps:
+            drone.account_motion(step_s)
+        flight.world.advance(self.env.now)
+        new_x, new_y = flight.leg_positions[-1]
+        drone.position = (new_x, new_y)
+        self._px[flight.slot] = new_x
+        self._py[flight.slot] = new_y
+        flight.leg_steps = None
+        flight.leg_arrivals = None
+        flight.leg_positions = None
+        if drone.alive:
+            self._end_of_leg(flight)
+        else:
+            self._complete(flight)
+
+    # -- heartbeats --------------------------------------------------------
+    def _do_beat(self, loop: _BeatLoop) -> None:
+        device = loop.device
+        if not device.alive:
+            return  # legacy `while device.alive` loop exit: beat stops
+        swarm = loop.swarm
+        beat = Heartbeat(
+            device_id=device.device_id,
+            time=self.env.now,
+            battery_fraction=device.energy.remaining_fraction)
+        sinks = swarm._beat_sinks
+        if sinks:
+            for sink in sinks:
+                sink(beat)
+        else:
+            swarm.heartbeat_bus.put(beat)
+        self._arm(swarm.control.heartbeat_period_s, _BEAT, loop, 0)
+
+    # -- completion --------------------------------------------------------
+    def _complete(self, flight: _Flight) -> None:
+        flight.gen += 1
+        flight.drone._fail_hook = None
+        self._free.append(flight.slot)
+        flight.event.succeed(flight.batches)

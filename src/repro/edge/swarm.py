@@ -84,8 +84,17 @@ class Swarm:
         return waypoints
 
     # -- heartbeats ------------------------------------------------------------
-    def start_heartbeats(self) -> None:
-        """Begin the 1 Hz heartbeat process for every device."""
+    def start_heartbeats(self, engine=None) -> None:
+        """Begin the 1 Hz heartbeat protocol for every device.
+
+        With an ``engine`` (:class:`~repro.edge.engine.SwarmEngine`) the
+        beats run off the engine's shared action heap — one kernel event
+        per beat instant for the whole swarm instead of one process per
+        device — with identical beat objects at identical instants.
+        """
+        if engine is not None:
+            engine.add_heartbeats(self)
+            return
         for device in self.devices.values():
             self._heartbeat_procs.append(
                 self.env.process(self._beat(device)))

@@ -6,15 +6,22 @@
 ``--workers N`` fans the parallel-aware harnesses out over N processes
 (numeric results are identical at any worker count);
 ``--bench-smoke`` runs the fixed ~30 s smoke workload and appends its
-timings to ``BENCH_kernel.json``.
+timings to ``BENCH_kernel.json``;
+``--bench-fig17`` records the fig17 256-drone legacy/vector milestone pair;
+``--profile`` prints cProfile's top 25 cumulative entries for the run;
+``--no-vector-edge`` forces the legacy per-device flight processes
+(``REPRO_VECTOR_EDGE=0`` equivalent).
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import csv
 import inspect
+import os
 import pathlib
+import pstats
 import sys
 
 from .common import ExperimentResult
@@ -50,7 +57,29 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-smoke", action="store_true",
                         help="run the ~30s perf smoke workload and append "
                              "its timings to BENCH_kernel.json")
+    parser.add_argument("--bench-fig17", action="store_true",
+                        help="record the fig17 256-drone legacy/vector "
+                             "milestone pair in BENCH_kernel.json")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 25 "
+                             "functions by cumulative time")
+    parser.add_argument("--no-vector-edge", action="store_true",
+                        help="fall back to the legacy per-device flight "
+                             "processes (sets REPRO_VECTOR_EDGE=0)")
     args = parser.parse_args(argv)
+
+    if args.no_vector_edge:
+        # Environment (not a runner kwarg) so pool workers inherit it.
+        os.environ["REPRO_VECTOR_EDGE"] = "0"
+
+    if args.bench_fig17:
+        from .bench import bench_path, run_fig17_milestone
+        for record in run_fig17_milestone(seed=args.seed):
+            print(f"{record['label']}: {record['wall_s']}s, "
+                  f"{record['sim_events']} events "
+                  f"({record['events_per_s']}/s)")
+        print(f"[milestone pair appended to {bench_path()}]")
+        return 0
 
     if args.bench_smoke:
         from .bench import bench_path, run_smoke
@@ -68,6 +97,10 @@ def main(argv=None) -> int:
         return 0
 
     figures = experiment_ids() if args.figure == "all" else [args.figure]
+    profiler = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
     for figure in figures:
         options = {"base_seed": args.seed}
         runner_params = inspect.signature(EXPERIMENTS[figure]).parameters
@@ -79,6 +112,10 @@ def main(argv=None) -> int:
             print(f"[csv written to {write_csv(result, args.csv)}]")
         print(f"[{figure} completed in {result.elapsed_s:.1f}s, "
               f"{result.sim_events} kernel events]\n")
+    if profiler is not None:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     return 0
 
 

@@ -24,7 +24,8 @@ from typing import Any, Dict, List, Optional
 from . import parallel
 from .registry import run_experiment
 
-__all__ = ["bench_path", "load_bench", "record_bench", "run_smoke"]
+__all__ = ["bench_path", "load_bench", "record_bench", "run_smoke",
+           "run_fig17_milestone"]
 
 #: The fixed smoke workload: small deterministic figure harnesses that
 #: together exercise every platform and both scenarios in ~30 s.
@@ -94,4 +95,41 @@ def run_smoke(max_workers: Optional[int] = None,
     records.append(record_bench(
         "smoke:total", total_wall, total_events, path=path,
         extra={"workers": workers}))
+    return records
+
+
+def run_fig17_milestone(n_devices: int = 256, seed: int = 0,
+                        path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Record the fig17 256-drone milestone pair: legacy vs vector engine.
+
+    Runs the identical Scenario-A hivemind point through both flight
+    paths and appends one record each, so BENCH_kernel.json carries the
+    before/after evidence for the vectorized edge layer. The two runs
+    must produce the same makespan (the determinism contract); a mismatch
+    raises instead of recording misleading numbers.
+    """
+    from ..apps import SCENARIO_A
+    from ..platforms import platform_config
+    from ..platforms.scenario_runner import ScenarioRunner
+    from ..sim.kernel import events_consumed
+
+    records = []
+    makespans = {}
+    for engine_label, vector in (("legacy-tick", False), ("vector", True)):
+        before = events_consumed()
+        start = time.perf_counter()
+        result = ScenarioRunner(
+            platform_config("hivemind"), SCENARIO_A, seed=seed,
+            n_devices=n_devices, vector_edge=vector).run()
+        wall = time.perf_counter() - start
+        makespans[engine_label] = result.extras["makespan_s"]
+        records.append(record_bench(
+            f"milestone:fig17b-{n_devices}:{engine_label}",
+            wall, events_consumed() - before, path=path,
+            extra={"makespan_s": round(result.extras["makespan_s"], 3),
+                   "engine": engine_label}))
+    if makespans["legacy-tick"] != makespans["vector"]:
+        raise AssertionError(
+            f"engine parity violated: legacy makespan "
+            f"{makespans['legacy-tick']} != vector {makespans['vector']}")
     return records

@@ -62,7 +62,7 @@ class AcceleratedClusterRpc:
              response_mb: float) -> Generator:
         """Process: accelerated request/response; returns RpcResult."""
         start = self.env.now
-        yield self.env.process(self._pool.admit())
+        yield from self._pool.admit()
         wire_s = (self.constants.accel_rtt_s +
                   (request_mb + response_mb) / self.constants.accel_bandwidth_mbs)
         if src != dst:
@@ -103,8 +103,8 @@ class AcceleratedEdgeRpc(EdgeCloudRpc):
                       self.PER_MB_MARSHAL_S * 0.25 *
                       (request_mb + response_mb))
         yield self.env.timeout(processing)
-        wire_s = yield self.env.process(
-            self.wireless.round_trip(device_id, request_mb, response_mb))
+        wire_s = yield from self.wireless.round_trip(
+            device_id, request_mb, response_mb)
         return RpcResult(
             total_s=self.env.now - start,
             wire_s=wire_s,
@@ -117,8 +117,7 @@ class AcceleratedEdgeRpc(EdgeCloudRpc):
         processing = (self.EDGE_PROC_S + self._cloud_processing_s +
                       self.PER_MB_MARSHAL_S * 0.25 * megabytes)
         yield self.env.timeout(processing)
-        wire_s = yield self.env.process(
-            self.wireless.upload(device_id, megabytes))
+        wire_s = yield from self.wireless.upload(device_id, megabytes)
         # Offload cannot remove the over-the-air ack round trip.
         rtt = self.wireless.constants.base_rtt_s
         yield self.env.timeout(rtt)

@@ -63,8 +63,8 @@ class EdgeCloudRpc:
         processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
                       self.PER_MB_MARSHAL_S * (request_mb + response_mb))
         yield self.env.timeout(processing)
-        wire_s = yield self.env.process(
-            self.wireless.round_trip(device_id, request_mb, response_mb))
+        wire_s = yield from self.wireless.round_trip(
+            device_id, request_mb, response_mb)
         return RpcResult(
             total_s=self.env.now - start,
             wire_s=wire_s,
@@ -79,8 +79,7 @@ class EdgeCloudRpc:
         processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
                       self.PER_MB_MARSHAL_S * megabytes)
         yield self.env.timeout(processing)
-        wire_s = yield self.env.process(
-            self.wireless.upload(device_id, megabytes))
+        wire_s = yield from self.wireless.upload(device_id, megabytes)
         rtt = self.wireless.constants.base_rtt_s
         yield self.env.timeout(rtt)
         wire_s += rtt
@@ -109,10 +108,8 @@ class SoftwareClusterRpc:
         start = self.env.now
         processing = self.per_call_cpu_s
         yield self.env.timeout(processing)
-        wire = yield self.env.process(
-            self.network.transfer(src, dst, request_mb))
-        wire_back = yield self.env.process(
-            self.network.transfer(dst, src, response_mb))
+        wire = yield from self.network.transfer(src, dst, request_mb)
+        wire_back = yield from self.network.transfer(dst, src, response_mb)
         return RpcResult(
             total_s=self.env.now - start,
             wire_s=wire + wire_back,

@@ -65,9 +65,9 @@ class ClusterNetwork:
         start = self.env.now
         if src == dst:
             return 0.0  # loopback; no wire time
-        yield self.env.process(self._tx[src].transfer(megabytes))
-        yield self.env.process(self.tor.fabric.transfer(megabytes))
-        yield self.env.process(self._rx[dst].transfer(megabytes))
+        yield from self._tx[src].transfer(megabytes)
+        yield from self.tor.fabric.transfer(megabytes)
+        yield from self._rx[dst].transfer(megabytes)
         self.meter.record(self.env.now, megabytes)
         return self.env.now - start
 

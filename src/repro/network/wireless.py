@@ -84,21 +84,21 @@ class WirelessNetwork:
     def upload(self, device_id: str, megabytes: float) -> Generator:
         """Process: send ``megabytes`` from device to the cloud edge."""
         ap = self.attach(device_id)
-        took = yield self.env.process(ap.uplink.transfer(megabytes))
+        took = yield from ap.uplink.transfer(megabytes)
         return took
 
     def download(self, device_id: str, megabytes: float) -> Generator:
         """Process: send ``megabytes`` from the cloud edge to the device."""
         ap = self.attach(device_id)
-        took = yield self.env.process(ap.downlink.transfer(megabytes))
+        took = yield from ap.downlink.transfer(megabytes)
         return took
 
     def round_trip(self, device_id: str, up_mb: float,
                    down_mb: float) -> Generator:
         """Process: request up, response down; returns total seconds."""
         start = self.env.now
-        yield self.env.process(self.upload(device_id, up_mb))
-        yield self.env.process(self.download(device_id, down_mb))
+        yield from self.upload(device_id, up_mb)
+        yield from self.download(device_id, down_mb)
         # Association/MAC overhead per exchange.
         yield self.env.timeout(self.constants.base_rtt_s)
         return self.env.now - start

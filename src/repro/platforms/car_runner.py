@@ -142,9 +142,9 @@ class CarScenarioRunner:
 
         def invoke_cloud(request: InvocationRequest) -> Generator:
             if mitigator is not None:
-                result = yield env.process(mitigator.invoke(request))
+                result = yield from mitigator.invoke(request)
             else:
-                result = yield env.process(platform.invoke(request))
+                result = yield from platform.invoke(request)
             return result
 
         def perceive(car: RoboticCar, service_s: float, photo_mb: float,
@@ -153,24 +153,23 @@ class CarScenarioRunner:
             start = env.now
             breakdown = LatencyBreakdown()
             if perception_tier == "edge":
-                spent = yield env.process(car.execute(
+                spent = yield from car.execute(
                     service_s,
-                    slowdown=app.edge_slowdown * self._device_ratio))
+                    slowdown=app.edge_slowdown * self._device_ratio)
                 breakdown.charge("execution", spent)
                 if chain_interpret:
-                    spent = yield env.process(car.execute(
-                        INTERPRET_SERVICE_S, slowdown=2.0))
+                    spent = yield from car.execute(
+                        INTERPRET_SERVICE_S, slowdown=2.0)
                     breakdown.charge("execution", spent)
             else:
-                push = yield env.process(
-                    edge_rpc.push(car.device_id, photo_mb))
+                push = yield from edge_rpc.push(car.device_id, photo_mb)
                 car.account_tx(TX_DUTY * push.total_s)
                 breakdown.charge("network", push.total_s)
                 if platform is not None:
                     request = InvocationRequest(
                         spec=app.function_spec(), service_s=service_s,
                         input_mb=photo_mb, output_mb=0.5)
-                    invocation = yield env.process(invoke_cloud(request))
+                    invocation = yield from invoke_cloud(request)
                     breakdown.charge("management",
                                      invocation.breakdown.management)
                     breakdown.charge("data_io",
@@ -183,7 +182,7 @@ class CarScenarioRunner:
                             service_s=INTERPRET_SERVICE_S,
                             input_mb=0.5, output_mb=0.02,
                             parent=invocation)
-                        invocation = yield env.process(invoke_cloud(child))
+                        invocation = yield from invoke_cloud(child)
                         breakdown.charge("management",
                                          invocation.breakdown.management)
                         breakdown.charge("data_io",
@@ -191,12 +190,11 @@ class CarScenarioRunner:
                         breakdown.charge("execution",
                                          invocation.breakdown.execution)
                 else:
-                    wait_s, spent = yield env.process(
-                        pool.execute(service_s))
+                    wait_s, spent = yield from pool.execute(service_s)
                     breakdown.charge("management", wait_s)
                     breakdown.charge("execution", spent)
-                down = yield env.process(fabric.wireless.download(
-                    car.device_id, 0.02))
+                down = yield from fabric.wireless.download(
+                    car.device_id, 0.02)
                 car.account_rx(TX_DUTY * down)
                 breakdown.charge("network", down)
             phase_latencies.add(env.now - start, time=start)
@@ -208,10 +206,10 @@ class CarScenarioRunner:
             for _ in range(self.scenario.panels):
                 for step in range(self.scenario.steps_between_panels):
                     target = (car.cell[0] + 1, car.cell[1])
-                    yield env.process(car.drive_to_cell(target))
+                    yield from car.drive_to_cell(target)
                 service = app.sample_cloud_service(rng)
-                yield env.process(perceive(
-                    car, service, car.photograph(), chain_interpret=True))
+                yield from perceive(
+                    car, service, car.photograph(), chain_interpret=True)
             job_latencies.append(env.now - start)
 
         def maze_run(car: RoboticCar, maze_index: int) -> Generator:
@@ -222,13 +220,13 @@ class CarScenarioRunner:
                 side, side, streams.stream(f"cars.maze{maze_index}"))
             follower = WallFollower(maze, (0, 0), (side - 1, side - 1))
             while not follower.done:
-                yield env.process(perceive(
-                    car, MAZE_DECISION_S, 1.0, chain_interpret=False))
+                yield from perceive(
+                    car, MAZE_DECISION_S, 1.0, chain_interpret=False)
                 previous = follower.position
                 follower.step()
                 # Map maze cells onto the car's grid odometry.
                 car.cell = previous
-                yield env.process(car.drive_to_cell(follower.position))
+                yield from car.drive_to_cell(follower.position)
             job_latencies.append(env.now - start)
 
         missions = []

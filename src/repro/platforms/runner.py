@@ -218,9 +218,9 @@ class SingleTierRunner:
 
         def invoke_cloud(request: InvocationRequest) -> Generator:
             if mitigator is not None:
-                result = yield env.process(mitigator.invoke(request))
+                result = yield from mitigator.invoke(request)
             else:
-                result = yield env.process(platform.invoke(request))
+                result = yield from platform.invoke(request)
             return result
 
         def cloud_task(device: Drone, intrinsic: float) -> Generator:
@@ -229,14 +229,13 @@ class SingleTierRunner:
             upload_mb = self.input_mb
             if (execution == "hybrid" and self.config.edge_filtering and
                     self.app.edge_filter_keep < 1.0):
-                filter_s = yield env.process(device.execute(
+                filter_s = yield from device.execute(
                     self.app.edge_filter_service_s,
-                    slowdown=EDGE_FILTER_SLOWDOWN))
+                    slowdown=EDGE_FILTER_SLOWDOWN)
                 breakdown.charge("execution", filter_s)
                 upload_mb = min(upload_mb * self.app.edge_filter_keep,
                                 FILTER_CEILING_MB)
-            push = yield env.process(
-                edge_rpc.push(device.device_id, upload_mb))
+            push = yield from edge_rpc.push(device.device_id, upload_mb)
             # CSMA contention keeps the radio active for most of the
             # transfer's wall time, not just its serialization slice.
             device.account_tx(TX_DUTY * push.total_s)
@@ -246,8 +245,8 @@ class SingleTierRunner:
                     spec=function_spec, service_s=intrinsic,
                     input_mb=upload_mb, output_mb=self.app.output_mb)
                 if self.intra_task_parallelism and self.app.parallelism > 1:
-                    shards = yield env.process(platform.invoke_parallel(
-                        request, self.app.parallelism))
+                    shards = yield from platform.invoke_parallel(
+                        request, self.app.parallelism)
                     for shard in shards:
                         breakdown.charge(
                             "management",
@@ -258,7 +257,7 @@ class SingleTierRunner:
                         "execution",
                         max(s.breakdown.execution for s in shards))
                 else:
-                    invocation = yield env.process(invoke_cloud(request))
+                    invocation = yield from invoke_cloud(request)
                     breakdown.charge("management",
                                      invocation.breakdown.management)
                     breakdown.charge("data_io",
@@ -266,13 +265,12 @@ class SingleTierRunner:
                     breakdown.charge("execution",
                                      invocation.breakdown.execution)
             else:
-                wait_s, service_s = yield env.process(
-                    pool.execute(intrinsic))
+                wait_s, service_s = yield from pool.execute(intrinsic)
                 breakdown.charge("management", wait_s)
                 breakdown.charge("execution", service_s)
             if self.app.response_to_device:
-                down_s = yield env.process(fabric.wireless.download(
-                    device.device_id, self.app.output_mb))
+                down_s = yield from fabric.wireless.download(
+                    device.device_id, self.app.output_mb)
                 device.account_rx(TX_DUTY * down_s)
                 breakdown.charge("network", down_s)
             latencies.add(env.now - start, time=start)
@@ -281,11 +279,11 @@ class SingleTierRunner:
         def edge_task(device: Drone, intrinsic: float) -> Generator:
             start = env.now
             breakdown = LatencyBreakdown()
-            service = yield env.process(device.execute(
-                intrinsic, slowdown=self.app.edge_slowdown))
+            service = yield from device.execute(
+                intrinsic, slowdown=self.app.edge_slowdown)
             breakdown.charge("execution", service)
-            push = yield env.process(
-                edge_rpc.push(device.device_id, self.app.output_mb))
+            push = yield from edge_rpc.push(device.device_id,
+                                            self.app.output_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             latencies.add(env.now - start, time=start)
@@ -294,9 +292,9 @@ class SingleTierRunner:
         def handle(device: Drone, intrinsic: float) -> Generator:
             try:
                 if process_tier == "edge":
-                    yield env.process(edge_task(device, intrinsic))
+                    yield from edge_task(device, intrinsic)
                 else:
-                    yield env.process(cloud_task(device, intrinsic))
+                    yield from cloud_task(device, intrinsic)
             finally:
                 outstanding[device.device_id] -= 1
 

@@ -18,6 +18,7 @@ unsearched).
 from __future__ import annotations
 
 import math
+import os
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from ..apps import ScenarioSpec
@@ -25,7 +26,7 @@ from ..cluster import Cluster, FixedPool
 from ..config import DEFAULT, PaperConstants
 from ..core import FailureDetector, StragglerMitigator
 from ..dsl import HiveMindCompiler
-from ..edge import Drone, FieldWorld, FrameBatch, Swarm
+from ..edge import Drone, FieldWorld, FrameBatch, Swarm, SwarmEngine
 from ..hardware import AcceleratedEdgeRpc, RemoteMemoryFabric
 from ..learning import DeduplicationEngine, IdentitySpace, RetrainingMode
 from ..learning.retraining import OnlineRecognizer
@@ -64,7 +65,8 @@ class ScenarioRunner:
                  frame_mb: Optional[float] = None,
                  fps: Optional[float] = None,
                  iaas_baseline_devices: int = 16,
-                 passes: int = 1):
+                 passes: int = 1,
+                 vector_edge: Optional[bool] = None):
         self.config = config
         self.scenario = scenario
         self.constants = (constants if n_devices is None
@@ -82,6 +84,12 @@ class ScenarioRunner:
         #: Coverage passes over the field (continuous-surveillance runs
         #: use several so online learning has material to learn from).
         self.passes = passes
+        #: Vectorized SwarmEngine for flight + heartbeats (default on;
+        #: REPRO_VECTOR_EDGE=0 or vector_edge=False falls back to the
+        #: legacy per-device tick processes — bit-identical results).
+        self.vector_edge = (
+            vector_edge if vector_edge is not None
+            else os.environ.get("REPRO_VECTOR_EDGE", "1") != "0")
 
     # -- defaults -------------------------------------------------------------
     def _default_retraining(self) -> RetrainingMode:
@@ -112,6 +120,7 @@ class ScenarioRunner:
     # -- run ------------------------------------------------------------
     def run(self) -> RunResult:
         env = Environment()
+        engine = SwarmEngine(env) if self.vector_edge else None
         streams = RandomStreams(self.seed)
         constants = self.constants
         fabric = build_fabric(env, self._fabric_constants(), streams)
@@ -215,7 +224,7 @@ class ScenarioRunner:
         # Fault tolerance (global-view platforms only).
         detector = None
         if execution != "edge":
-            swarm.start_heartbeats()
+            swarm.start_heartbeats(engine=engine)
             detector = FailureDetector(env, swarm, constants.control)
         if self.fail_device_at is not None:
             index, at_time = self.fail_device_at
@@ -249,9 +258,9 @@ class ScenarioRunner:
 
         def invoke_cloud(request: InvocationRequest) -> Generator:
             if mitigator is not None:
-                result = yield env.process(mitigator.invoke(request))
+                result = yield from mitigator.invoke(request)
             else:
-                result = yield env.process(platform.invoke(request))
+                result = yield from platform.invoke(request)
             return result
 
         def recognition_cloud(device: Drone, batch: FrameBatch,
@@ -259,14 +268,13 @@ class ScenarioRunner:
             upload_mb = input_mb
             if (execution == "hybrid" and self.config.edge_filtering and
                     app.edge_filter_keep < 1.0):
-                filter_s = yield env.process(device.execute(
+                filter_s = yield from device.execute(
                     app.edge_filter_service_s,
-                    slowdown=EDGE_FILTER_SLOWDOWN))
+                    slowdown=EDGE_FILTER_SLOWDOWN)
                 breakdown.charge("execution", filter_s)
                 upload_mb = min(upload_mb * app.edge_filter_keep,
                                 FILTER_CEILING_MB)
-            push = yield env.process(
-                edge_rpc.push(device.device_id, upload_mb))
+            push = yield from edge_rpc.push(device.device_id, upload_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             intrinsic = app.sample_cloud_service(rng)
@@ -274,14 +282,14 @@ class ScenarioRunner:
                 request = InvocationRequest(
                     spec=recognition_spec, service_s=intrinsic,
                     input_mb=upload_mb, output_mb=app.output_mb)
-                invocation = yield env.process(invoke_cloud(request))
+                invocation = yield from invoke_cloud(request)
                 breakdown.charge("management",
                                  invocation.breakdown.management)
                 breakdown.charge("data_io", invocation.breakdown.data_io)
                 breakdown.charge("execution",
                                  invocation.breakdown.execution)
                 return invocation
-            wait_s, service_s = yield env.process(pool.execute(intrinsic))
+            wait_s, service_s = yield from pool.execute(intrinsic)
             breakdown.charge("management", wait_s)
             breakdown.charge("execution", service_s)
             return None
@@ -290,11 +298,10 @@ class ScenarioRunner:
                              breakdown: LatencyBreakdown) -> Generator:
             intrinsic = (app.sample_cloud_service(rng) +
                          self.scenario.edge_extra_service_s)
-            service = yield env.process(device.execute(
-                intrinsic, slowdown=app.edge_slowdown))
+            service = yield from device.execute(
+                intrinsic, slowdown=app.edge_slowdown)
             breakdown.charge("execution", service)
-            push = yield env.process(
-                edge_rpc.push(device.device_id, app.output_mb))
+            push = yield from edge_rpc.push(device.device_id, app.output_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             return None
@@ -309,7 +316,7 @@ class ScenarioRunner:
                            megabytes: float) -> Generator:
             if platform is None or task_name not in persisted_tasks:
                 return
-            yield env.process(platform.couchdb.store(key, megabytes))
+            yield from platform.couchdb.store(key, megabytes)
             persist_counter["count"] += 1
 
         def aggregate_stage(parent: Optional[Invocation],
@@ -322,12 +329,12 @@ class ScenarioRunner:
                 spec=dedup_spec, service_s=intrinsic,
                 input_mb=(parent.request.output_mb if parent else 0.1),
                 output_mb=0.05, parent=parent)
-            invocation = yield env.process(invoke_cloud(request))
+            invocation = yield from invoke_cloud(request)
             breakdown.charge("management", invocation.breakdown.management)
             breakdown.charge("data_io", invocation.breakdown.data_io)
             breakdown.charge("execution", invocation.breakdown.execution)
-            yield env.process(persist_output(
-                "aggregate", f"agg-{invocation.invocation_id}", 0.05))
+            yield from persist_output(
+                "aggregate", f"agg-{invocation.invocation_id}", 0.05)
 
         def handle_batch(device: Drone, batch: FrameBatch) -> Generator:
             start = env.now
@@ -343,18 +350,17 @@ class ScenarioRunner:
                             (cloud_fraction >= 1.0 or
                              float(rng.random()) < cloud_fraction))
                 if to_cloud:
-                    parent = yield env.process(
-                        recognition_cloud(device, batch, breakdown))
+                    parent = yield from recognition_cloud(
+                        device, batch, breakdown)
                     if parent is not None:
-                        yield env.process(persist_output(
+                        yield from persist_output(
                             "recognition",
                             f"rec-{parent.invocation_id}",
-                            app.output_mb))
+                            app.output_mb)
                 else:
-                    parent = yield env.process(
-                        recognition_edge(device, breakdown))
+                    parent = yield from recognition_edge(device, breakdown)
                 record_sightings(device, batch)
-                yield env.process(aggregate_stage(parent, breakdown))
+                yield from aggregate_stage(parent, breakdown)
                 yield obstacle  # join the Parallel branch
                 latencies.add(env.now - start, time=start)
                 breakdowns.add(breakdown)
@@ -383,8 +389,12 @@ class ScenarioRunner:
                     covered.add((region.x0, region.y0,
                                  region.x1, region.y1))
                     route = coverage_route(region, swath)
-                    yield env.process(device.fly_route(
-                        route, world, on_batch=on_batch(device)))
+                    if engine is not None:
+                        yield engine.fly_route(
+                            device, route, world, on_batch=on_batch(device))
+                    else:
+                        yield env.process(device.fly_route(
+                            route, world, on_batch=on_batch(device)))
                     if device.energy.depleted:
                         device.fail()
                         completed["all"] = False

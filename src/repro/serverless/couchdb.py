@@ -71,7 +71,7 @@ class CouchDB:
 
     def store(self, key: str, megabytes: float) -> Generator:
         """Process: persist a document (used by the Persist directive)."""
-        took = yield self.env.process(self.access(megabytes))
+        took = yield from self.access(megabytes)
         self._documents[key] = megabytes
         return took
 
@@ -80,7 +80,7 @@ class CouchDB:
         if key not in self._documents:
             raise KeyError(f"unknown document {key!r}")
         megabytes = self._documents[key]
-        yield self.env.process(self.access(megabytes))
+        yield from self.access(megabytes)
         return megabytes
 
     def has_document(self, key: str) -> bool:

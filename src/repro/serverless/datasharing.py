@@ -64,8 +64,8 @@ class CouchDBSharing:
         start = self.env.now
         # Both functions round-trip the controller for a database handle.
         yield self.env.timeout(2 * self.constants.couchdb_handle_s)
-        yield self.env.process(self.couchdb.access(megabytes))  # parent write
-        yield self.env.process(self.couchdb.access(megabytes))  # child read
+        yield from self.couchdb.access(megabytes)  # parent write
+        yield from self.couchdb.access(megabytes)  # child read
         return self.env.now - start
 
 
@@ -84,8 +84,8 @@ class RpcSharing:
               megabytes: float) -> Generator:
         start = self.env.now
         yield self.env.timeout(self.constants.rpc_share_latency_s)
-        result = yield self.env.process(
-            self.rpc.call(src_server, dst_server, megabytes, 0.001))
+        result = yield from self.rpc.call(src_server, dst_server,
+                                          megabytes, 0.001)
         return self.env.now - start
 
 
@@ -123,8 +123,7 @@ class RemoteMemorySharing:
     def share(self, src_server: str, dst_server: str,
               megabytes: float) -> Generator:
         start = self.env.now
-        handle = yield self.env.process(
-            self.fabric.write(src_server, megabytes))
-        yield self.env.process(self.fabric.read(dst_server, handle))
+        handle = yield from self.fabric.write(src_server, megabytes)
+        yield from self.fabric.read(dst_server, handle)
         self.fabric.evict(handle)
         return self.env.now - start

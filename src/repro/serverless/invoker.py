@@ -189,15 +189,15 @@ class Invoker:
         Fills in the invocation's container/server fields, instantiation
         and execution charges, and handles fault-respawn loops.
         """
-        container = yield self.env.process(
-            self._acquire_container(request, invocation, prefer_container))
+        container = yield from self._acquire_container(
+            request, invocation, prefer_container)
         invocation.server_id = self.server.server_id
         invocation.container_id = container.container_id
         invocation.colocated = (
             prefer_container is not None and container is prefer_container)
 
         while True:
-            grant = yield self.env.process(self.server.acquire_cores(1))
+            grant = yield from self.server.acquire_cores(1)
             invocation.t_exec_start = (
                 invocation.t_exec_start or self.env.now)
             service = request.service_s * self._interference_factor()
@@ -206,13 +206,13 @@ class Invoker:
             if faulty:
                 # Fail partway through, release the core, respawn.
                 failed_after = service * float(self.rng.uniform(0.1, 0.9))
-                yield self.env.process(self.server.compute(grant, failed_after))
+                yield from self.server.compute(grant, failed_after)
                 grant.release()
                 invocation.failures += 1
                 invocation.breakdown.charge("execution", failed_after)
                 self.respawns += 1
                 continue
-            yield self.env.process(self.server.compute(grant, service))
+            yield from self.server.compute(grant, service)
             grant.release()
             invocation.breakdown.charge("execution", service)
             break
@@ -243,14 +243,14 @@ class Invoker:
 
     def _consume(self, bus, topic: str) -> Generator:
         while True:
-            message = yield self.env.process(bus.consume(topic))
+            message = yield from bus.consume(topic)
             self.env.process(self._handle(message))
 
     def _handle(self, message: ActivationMessage) -> Generator:
         try:
-            yield self.env.process(self.run(
+            yield from self.run(
                 message.request, message.invocation,
-                prefer_container=message.prefer_container))
+                prefer_container=message.prefer_container)
             message.done.succeed(message.invocation)
         except BaseException as error:  # surface crashes to the caller
             message.done.fail(error)

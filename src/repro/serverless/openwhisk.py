@@ -155,8 +155,8 @@ class OpenWhiskPlatform:
         protocol = self._select_sharing(colocated)
         dst = placement.invoker.server.server_id
         src = dst if colocated else (parent.server_id or dst)
-        took = yield self.env.process(
-            protocol.share(src, dst, parent.request.output_mb))
+        took = yield from protocol.share(src, dst,
+                                         parent.request.output_mb)
         invocation.data_share_s += took
         invocation.breakdown.charge("data_io", took)
 
@@ -170,7 +170,7 @@ class OpenWhiskPlatform:
             try:
                 # Front end + auth check against CouchDB.
                 yield self.env.timeout(self.constants.frontend_latency_s)
-                auth_s = yield self.env.process(self.couchdb.authenticate())
+                auth_s = yield from self.couchdb.authenticate()
                 invocation.breakdown.charge(
                     "management", self.constants.frontend_latency_s + auth_s)
                 # Controller: queue for a scheduler slot, decide placement.
@@ -184,8 +184,8 @@ class OpenWhiskPlatform:
                 invocation.breakdown.charge(
                     "management", self.env.now - queue_start)
                 # Fetch the parent's output (protocol depends on placement).
-                yield self.env.process(self._share_parent_output(
-                    request, invocation, placement))
+                yield from self._share_parent_output(
+                    request, invocation, placement)
                 # Activation travels over Kafka to the chosen invoker's
                 # topic; its consumer instantiates and executes, and the
                 # caller blocks on the completion event.
@@ -193,8 +193,8 @@ class OpenWhiskPlatform:
                 done = self.env.event()
                 message = ActivationMessage(
                     request, invocation, placement.container, done)
-                yield self.env.process(self.kafka.publish(
-                    self._topic_of(placement.invoker), message))
+                yield from self.kafka.publish(
+                    self._topic_of(placement.invoker), message)
                 invocation.breakdown.charge(
                     "management", self.env.now - kafka_start)
                 invocation.t_scheduled = self.env.now
@@ -223,7 +223,7 @@ class OpenWhiskPlatform:
         if ways <= 0:
             raise ValueError("parallelism must be positive")
         if ways == 1:
-            single = yield self.env.process(self.invoke(request))
+            single = yield from self.invoke(request)
             return [single]
         shard = InvocationRequest(
             spec=request.spec,

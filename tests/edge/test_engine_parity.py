@@ -1,0 +1,305 @@
+"""SwarmEngine parity: vectorized flight must be bit-identical to legacy.
+
+The determinism contract of the vectorized edge layer is byte-for-byte
+equality with the per-device tick processes at fixed seeds. These tests
+drive the same routes (and full scenario runs) through both paths and
+compare positions, timings, batch counts, heartbeat streams, and the
+per-device energy ledgers with exact ``==`` — no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import SCENARIO_A
+from repro.config import DroneConstants
+from repro.edge import Drone, FieldWorld, Swarm, SwarmEngine
+from repro.platforms import platform_config
+from repro.platforms.scenario_runner import ScenarioRunner
+from repro.sim import Environment
+from repro.sim.kernel import events_consumed
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def fly_legacy(waypoints, capture=True, kill_at=None, strict=False,
+               world_seed=7):
+    """Fly one route through the legacy tick processes; return evidence."""
+    env = Environment()
+    world = FieldWorld(1000, 1000, np.random.default_rng(world_seed))
+    drone = Drone(env, "d0", DroneConstants(), strict_battery=strict)
+    batches = []
+    if kill_at is not None:
+        def killer():
+            yield env.timeout(kill_at)
+            drone.fail()
+        env.process(killer())
+
+    def run():
+        count = yield env.process(drone.fly_route(
+            waypoints, world, on_batch=batches.append, capture=capture))
+        return count
+
+    count = env.run(env.process(run()))
+    return _evidence(env, drone, count, batches)
+
+
+def fly_engine(waypoints, capture=True, kill_at=None, strict=False,
+               world_seed=7):
+    """Fly the same route through the SwarmEngine; return evidence."""
+    env = Environment()
+    engine = SwarmEngine(env)
+    world = FieldWorld(1000, 1000, np.random.default_rng(world_seed))
+    drone = Drone(env, "d0", DroneConstants(), strict_battery=strict)
+    batches = []
+    if kill_at is not None:
+        def killer():
+            yield env.timeout(kill_at)
+            drone.fail()
+        env.process(killer())
+
+    def run():
+        count = yield engine.fly_route(
+            drone, waypoints, world, on_batch=batches.append,
+            capture=capture)
+        return count
+
+    count = env.run(env.process(run()))
+    return _evidence(env, drone, count, batches), engine
+
+
+def _evidence(env, drone, count, batches):
+    return {
+        "finish_time": env.now,
+        "count": count,
+        "batch_times": tuple(b.time for b in batches),
+        "batch_positions": tuple(b.position for b in batches),
+        "position": drone.position,
+        "motion_s": drone.motion_s,
+        "energy": tuple(sorted(drone.energy.by_category().items())),
+        "alive": drone.alive,
+    }
+
+
+class TestRouteParity:
+    def test_single_leg(self):
+        route = [(0.0, 0.0), (40.0, 0.0)]
+        engine_run, _ = fly_engine(route)
+        assert fly_legacy(route) == engine_run
+
+    def test_multi_leg_with_turns(self):
+        route = [(0.0, 0.0), (40.0, 0.0), (40.0, 30.0), (3.0, 30.0)]
+        engine_run, _ = fly_engine(route)
+        assert fly_legacy(route) == engine_run
+
+    def test_diagonal_fractional_legs(self):
+        # Leg lengths that do not divide evenly into 1 s ticks.
+        route = [(0.0, 0.0), (11.3, 7.9), (2.2, 19.47)]
+        engine_run, _ = fly_engine(route)
+        assert fly_legacy(route) == engine_run
+
+    def test_zero_length_leg(self):
+        route = [(0.0, 0.0), (8.0, 0.0), (8.0, 0.0), (8.0, 12.0)]
+        engine_run, _ = fly_engine(route)
+        assert fly_legacy(route) == engine_run
+
+    def test_failure_mid_route(self):
+        route = [(0.0, 0.0), (400.0, 0.0)]
+        engine_run, _ = fly_engine(route, kill_at=5.3)
+        legacy = fly_legacy(route, kill_at=5.3)
+        assert legacy == engine_run
+        assert not engine_run["alive"]
+        # The in-flight tick still lands before the route ends.
+        assert engine_run["finish_time"] == 6.0
+
+    def test_empty_route(self):
+        env = Environment()
+        engine = SwarmEngine(env)
+        world = FieldWorld(10, 10, np.random.default_rng(0))
+        drone = Drone(env, "d0", DroneConstants())
+
+        def run():
+            count = yield engine.fly_route(drone, [], world)
+            return count
+
+        assert env.run(env.process(run())) == 0
+
+    def test_engine_uses_fewer_kernel_events(self):
+        route = [(0.0, 0.0), (200.0, 0.0), (200.0, 200.0)]
+        before = events_consumed()
+        fly_legacy(route)
+        legacy_events = events_consumed() - before
+        before = events_consumed()
+        fly_engine(route)
+        engine_events = events_consumed() - before
+        assert engine_events < legacy_events
+
+
+class TestAnalyticLegs:
+    """capture=False legs collapse to one settle event per leg."""
+
+    def test_parity_and_single_event(self):
+        route = [(0.0, 0.0), (160.0, 0.0), (160.0, 43.7)]
+        engine_run, engine = fly_engine(route, capture=False)
+        legacy = fly_legacy(route, capture=False)
+        # The world clock advances once per leg instead of per tick, so
+        # drop world-independent evidence only (no captures happened).
+        assert legacy == engine_run
+        assert engine.analytic_legs == 2
+        # ~52 ticks of flight collapse into a handful of engine wakes.
+        assert engine.wakes < 10
+
+    def test_capture_leg_not_analytic(self):
+        engine_run, engine = fly_engine([(0.0, 0.0), (40.0, 0.0)])
+        assert engine.analytic_legs == 0
+
+    def test_strict_battery_disables_analytic(self):
+        route = [(0.0, 0.0), (60.0, 0.0)]
+        engine_run, engine = fly_engine(route, capture=False, strict=True)
+        assert engine.analytic_legs == 0
+        assert fly_legacy(route, capture=False, strict=True) == engine_run
+
+    def test_failure_truncates_analytic_leg(self):
+        route = [(0.0, 0.0), (400.0, 0.0)]
+        engine_run, engine = fly_engine(route, capture=False, kill_at=5.3)
+        legacy = fly_legacy(route, capture=False, kill_at=5.3)
+        assert engine.analytic_legs == 1
+        assert legacy == engine_run
+        assert engine_run["finish_time"] == 6.0
+
+    def test_failure_at_exact_tick_boundary(self):
+        route = [(0.0, 0.0), (400.0, 0.0)]
+        engine_run, _ = fly_engine(route, capture=False, kill_at=6.0)
+        assert fly_legacy(route, capture=False, kill_at=6.0) == engine_run
+
+
+class TestHeartbeatParity:
+    def _swarm(self, env):
+        drones = [Drone(env, f"d{i}", DroneConstants()) for i in range(4)]
+        return Swarm(env, drones)
+
+    def test_beats_match_legacy(self):
+        env_a = Environment()
+        legacy = self._swarm(env_a)
+        legacy.start_heartbeats()
+        env_a.run(until=5.5)
+
+        env_b = Environment()
+        vector = self._swarm(env_b)
+        vector.start_heartbeats(engine=SwarmEngine(env_b))
+        env_b.run(until=5.5)
+
+        assert vector.heartbeat_bus.items == legacy.heartbeat_bus.items
+        assert len(vector.heartbeat_bus.items) == 4 * 6
+
+    def test_beats_stop_after_failure(self):
+        env = Environment()
+        swarm = self._swarm(env)
+        swarm.start_heartbeats(engine=SwarmEngine(env))
+        swarm.fail_device_at("d0", at_time=2.5)
+        env.run(until=10.0)
+        beats = [b for b in swarm.heartbeat_bus.items if b.device_id == "d0"]
+        assert len(beats) == 3  # t = 0, 1, 2
+
+    def test_beats_reach_sinks(self):
+        env = Environment()
+        swarm = self._swarm(env)
+        seen = []
+        swarm.subscribe_heartbeats(seen.append)
+        swarm.start_heartbeats(engine=SwarmEngine(env))
+        env.run(until=2.5)
+        assert len(seen) == 4 * 3
+        assert not swarm.heartbeat_bus.items  # sinks bypass the bus
+
+
+def _scenario_fingerprint(**kwargs):
+    result = ScenarioRunner(**kwargs).run()
+    return {
+        "makespan": result.extras["makespan_s"],
+        "found": result.extras.get("items_found",
+                                   result.extras.get("unique_people")),
+        "latencies": tuple(result.task_latencies.values),
+        "failed": tuple(result.extras["failed_devices"]),
+        "energy": tuple(tuple(sorted(account.by_category().items()))
+                        for account in result.energy_accounts),
+    }
+
+
+class TestScenarioParity:
+    """Full-scenario byte parity, including the energy-accounting suite:
+    motion/radio/compute draws plus lazy idle settlement must sum to the
+    same per-device totals under both flight paths."""
+
+    def test_hivemind_scenario_a(self):
+        base = dict(config=platform_config("hivemind"),
+                    scenario=SCENARIO_A, seed=0, n_devices=16)
+        legacy = _scenario_fingerprint(vector_edge=False, **base)
+        vector = _scenario_fingerprint(vector_edge=True, **base)
+        assert legacy == vector
+        for per_device in vector["energy"]:
+            categories = dict(per_device)
+            assert categories["motion"] > 0
+            assert categories["idle"] > 0
+
+    def test_distributed_edge_scenario_a(self):
+        base = dict(config=platform_config("distributed_edge"),
+                    scenario=SCENARIO_A, seed=1, n_devices=8)
+        legacy = _scenario_fingerprint(vector_edge=False, **base)
+        vector = _scenario_fingerprint(vector_edge=True, **base)
+        assert legacy == vector
+
+    def test_parity_with_injected_failure(self):
+        base = dict(config=platform_config("hivemind"),
+                    scenario=SCENARIO_A, seed=2, n_devices=16,
+                    fail_device_at=(3, 12.0))
+        legacy = _scenario_fingerprint(vector_edge=False, **base)
+        vector = _scenario_fingerprint(vector_edge=True, **base)
+        assert legacy == vector
+        assert vector["failed"]  # the injected failure was detected
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_EDGE", "0")
+        runner = ScenarioRunner(platform_config("hivemind"), SCENARIO_A)
+        assert runner.vector_edge is False
+        monkeypatch.setenv("REPRO_VECTOR_EDGE", "1")
+        runner = ScenarioRunner(platform_config("hivemind"), SCENARIO_A)
+        assert runner.vector_edge is True
+        # Explicit argument wins over the environment.
+        runner = ScenarioRunner(platform_config("hivemind"), SCENARIO_A,
+                                vector_edge=False)
+        assert runner.vector_edge is False
+
+
+class TestSatelliteBugfixes:
+    def test_execute_no_compute_charge_after_failure(self):
+        env = Environment()
+        device = Drone(env, "d0", DroneConstants())
+
+        def killer():
+            yield env.timeout(0.1)
+            device.fail()
+
+        env.process(killer())
+        env.run(env.process(device.execute(1.0)))  # runs past the failure
+        assert device.busy_compute_s == 0.0
+        assert device.energy.by_category().get("compute", 0.0) == 0.0
+
+    def test_execute_charges_when_alive(self):
+        env = Environment()
+        device = Drone(env, "d0", DroneConstants())
+        env.run(env.process(device.execute(1.0)))
+        assert device.busy_compute_s > 0.0
+        assert device.energy.by_category()["compute"] > 0.0
+
+    def test_turn_advances_world_clock(self, rng):
+        env = Environment()
+        world = FieldWorld(100, 100, rng)
+        drone = Drone(env, "d0", DroneConstants())
+        assert drone.constants.turn_time_s > 0
+        env.run(env.process(drone.fly_route(
+            [(0.0, 0.0), (8.0, 0.0), (8.0, 8.0)], world)))
+        # Without the fix the world clock lags env.now by the turn time
+        # whenever a route ends on a turn boundary.
+        assert world._clock == env.now
