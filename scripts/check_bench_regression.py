@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Fail when the kernel's smoke throughput regresses against the baseline.
+
+Compares the newest ``smoke:total`` record in ``BENCH_kernel.json``
+(appended by the CI bench job that just ran) against the *checked-in
+baseline* — the most recent ``smoke:total`` record committed to the
+file, i.e. the second-newest after CI's append — and exits non-zero when
+events/second drops by more than the allowed fraction (default 30%).
+Comparing against the most recent committed record (rather than the
+oldest) matters: a PR that legitimately shifts the events/second scale
+(e.g. by deleting cheap kernel events outright, which lowers events/s
+while *improving* wall clock) re-baselines the check by committing its
+own smoke records.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--max-drop 0.30] [PATH]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH),
+                        help="trajectory file (default: repo BENCH_kernel.json)")
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="allowed fractional events/s drop vs the "
+                             "baseline (default 0.30)")
+    parser.add_argument("--label", default="smoke:total",
+                        help="record label to compare (default smoke:total)")
+    args = parser.parse_args(argv)
+
+    with open(args.path) as handle:
+        runs = json.load(handle).get("runs", [])
+    matching = [r for r in runs if r.get("label") == args.label
+                and r.get("events_per_s")]
+    if len(matching) < 2:
+        print(f"[bench] need >=2 '{args.label}' records to compare "
+              f"(found {len(matching)}); skipping")
+        return 0
+
+    baseline, newest = matching[-2], matching[-1]
+    floor = baseline["events_per_s"] * (1.0 - args.max_drop)
+    verdict = "OK" if newest["events_per_s"] >= floor else "REGRESSION"
+    print(f"[bench] {args.label}: baseline {baseline['events_per_s']}/s "
+          f"({baseline['date']}), newest {newest['events_per_s']}/s "
+          f"({newest['date']}), floor {floor:.0f}/s -> {verdict}")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

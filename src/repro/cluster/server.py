@@ -54,6 +54,10 @@ class Server:
         #: (section 4.6); a server on probation receives no new functions.
         self.probation_until: float = 0.0
         self._busy_core_seconds = 0.0
+        #: Zero-arg callbacks fired on every :meth:`free_memory` (the
+        #: invoker's event-driven memory waits hook in here instead of
+        #: polling on a retry timer).
+        self._free_listeners: List = []
 
     @property
     def total_cores(self) -> int:
@@ -98,8 +102,14 @@ class Server:
         """Non-blocking memory claim; False when the server is full."""
         return self.memory.try_get(mb)
 
+    def add_free_memory_listener(self, callback) -> None:
+        """Register a zero-arg callback fired after each memory release."""
+        self._free_listeners.append(callback)
+
     def free_memory(self, mb: float) -> None:
         self.memory.put(mb)
+        for listener in self._free_listeners:
+            listener()
 
     def compute(self, grant: CoreGrant, seconds: float) -> Generator:
         """Process: run for ``seconds`` on already-granted cores."""

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..config import DroneConstants
 from ..sim import Environment
+from ..sim.accounting import tally
 from .device import EdgeDevice
 from .field import FieldWorld
 from .sensors import Camera, FrameBatch, SensorSuite
@@ -75,6 +76,7 @@ class Drone(EdgeDevice):
                 target, world, on_batch, capture)
             # Turn penalty between legs.
             if self.alive and self.constants.turn_time_s > 0:
+                tally("edge", 1)
                 yield self.env.timeout(self.constants.turn_time_s)
                 self.account_motion(self.constants.turn_time_s)
                 # Keep the world clock current across the turn so the
@@ -101,6 +103,7 @@ class Drone(EdgeDevice):
             fraction = min(1.0, step_m / distance)
             self.position = (self.position[0] + fraction * dx,
                              self.position[1] + fraction * dy)
+            tally("edge", 1)
             yield self.env.timeout(step_s)
             self.account_motion(step_s)
             world.advance(self.env.now)
@@ -117,5 +120,6 @@ class Drone(EdgeDevice):
         """Process: hold position (still burns motion power)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
+        tally("edge", 1)
         yield self.env.timeout(seconds)
         self.account_motion(seconds)

@@ -61,6 +61,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..sim import Environment
+from ..sim.accounting import tally
 from .drone import Drone
 from .field import FieldWorld
 from .sensors import FrameBatch
@@ -210,6 +211,7 @@ class SwarmEngine:
         heappush(self._actions, (time, next(self._seq), kind, payload, gen))
         if time not in self._armed:
             self._armed.add(time)
+            tally("edge", 1)
             wake = self.env.timeout(delay)
             wake.callbacks.append(self._wake)
 

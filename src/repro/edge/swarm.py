@@ -15,6 +15,7 @@ from typing import Callable, Dict, Generator, List, Optional
 from ..config import ControlConstants, PaperConstants
 from ..routing import Region, coverage_route, partition_field
 from ..sim import Environment, RandomStreams, Store
+from ..sim.accounting import tally
 from .device import EdgeDevice
 from .drone import Drone
 
@@ -121,9 +122,11 @@ class Swarm:
                 time=self.env.now,
                 battery_fraction=device.energy.remaining_fraction)
             if sinks:
+                tally("edge", 1)
                 for sink in sinks:
                     sink(beat)
             else:
+                tally("edge", 2)
                 yield self.heartbeat_bus.put(beat)
             yield timeout(period)
 

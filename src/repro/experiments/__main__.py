@@ -8,9 +8,13 @@
 ``--bench-smoke`` runs the fixed ~30 s smoke workload and appends its
 timings to ``BENCH_kernel.json``;
 ``--bench-fig17`` records the fig17 256-drone legacy/vector milestone pair;
-``--profile`` prints cProfile's top 25 cumulative entries for the run;
+``--bench-fig11`` records the fig11 legacy/analytic queueing milestone pair;
+``--profile`` prints cProfile's top 25 cumulative entries for the run —
+it composes with any figure id, ``all``, and every bench mode;
 ``--no-vector-edge`` forces the legacy per-device flight processes
-(``REPRO_VECTOR_EDGE=0`` equivalent).
+(``REPRO_VECTOR_EDGE=0`` equivalent);
+``--no-analytic-net`` forces the legacy Resource-based network/serverless
+queues (``REPRO_ANALYTIC_NET=0`` equivalent).
 """
 
 from __future__ import annotations
@@ -60,33 +64,71 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-fig17", action="store_true",
                         help="record the fig17 256-drone legacy/vector "
                              "milestone pair in BENCH_kernel.json")
+    parser.add_argument("--bench-fig11", action="store_true",
+                        help="record the fig11 legacy/analytic queueing "
+                             "milestone pair in BENCH_kernel.json")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
     parser.add_argument("--no-vector-edge", action="store_true",
                         help="fall back to the legacy per-device flight "
                              "processes (sets REPRO_VECTOR_EDGE=0)")
+    parser.add_argument("--no-analytic-net", action="store_true",
+                        help="fall back to the legacy Resource-based "
+                             "network/serverless queues (sets "
+                             "REPRO_ANALYTIC_NET=0)")
     args = parser.parse_args(argv)
 
     if args.no_vector_edge:
         # Environment (not a runner kwarg) so pool workers inherit it.
         os.environ["REPRO_VECTOR_EDGE"] = "0"
+    if args.no_analytic_net:
+        os.environ["REPRO_ANALYTIC_NET"] = "0"
 
+    # --profile composes with every mode below: figures, 'all', and the
+    # bench workloads all run under the same profiler when requested.
+    profiler = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        return _dispatch(args)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+
+
+def _print_bench(records) -> None:
+    for record in records:
+        line = (f"{record['label']}: {record['wall_s']}s, "
+                f"{record['sim_events']} events "
+                f"({record['events_per_s']}/s)")
+        layers = record.get("layer_events")
+        if layers:
+            parts = ", ".join(f"{layer}={n}"
+                              for layer, n in layers.items())
+            line += f" [{parts}]"
+        print(line)
+
+
+def _dispatch(args) -> int:
     if args.bench_fig17:
         from .bench import bench_path, run_fig17_milestone
-        for record in run_fig17_milestone(seed=args.seed):
-            print(f"{record['label']}: {record['wall_s']}s, "
-                  f"{record['sim_events']} events "
-                  f"({record['events_per_s']}/s)")
+        _print_bench(run_fig17_milestone(seed=args.seed))
+        print(f"[milestone pair appended to {bench_path()}]")
+        return 0
+
+    if args.bench_fig11:
+        from .bench import bench_path, run_fig11_milestone
+        _print_bench(run_fig11_milestone(seed=args.seed))
         print(f"[milestone pair appended to {bench_path()}]")
         return 0
 
     if args.bench_smoke:
         from .bench import bench_path, run_smoke
-        for record in run_smoke(max_workers=args.workers):
-            print(f"{record['label']}: {record['wall_s']}s, "
-                  f"{record['sim_events']} events "
-                  f"({record['events_per_s']}/s)")
+        _print_bench(run_smoke(max_workers=args.workers))
         print(f"[trajectory appended to {bench_path()}]")
         return 0
 
@@ -97,10 +139,6 @@ def main(argv=None) -> int:
         return 0
 
     figures = experiment_ids() if args.figure == "all" else [args.figure]
-    profiler = None
-    if args.profile:
-        profiler = cProfile.Profile()
-        profiler.enable()
     for figure in figures:
         options = {"base_seed": args.seed}
         runner_params = inspect.signature(EXPERIMENTS[figure]).parameters
@@ -110,12 +148,10 @@ def main(argv=None) -> int:
         print(result.render())
         if args.csv:
             print(f"[csv written to {write_csv(result, args.csv)}]")
+        layers = ", ".join(f"{layer}={n}"
+                           for layer, n in result.layer_events.items())
         print(f"[{figure} completed in {result.elapsed_s:.1f}s, "
-              f"{result.sim_events} kernel events]\n")
-    if profiler is not None:
-        profiler.disable()
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+              f"{result.sim_events} kernel events ({layers})]\n")
     return 0
 
 

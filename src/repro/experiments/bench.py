@@ -25,7 +25,7 @@ from . import parallel
 from .registry import run_experiment
 
 __all__ = ["bench_path", "load_bench", "record_bench", "run_smoke",
-           "run_fig17_milestone"]
+           "run_fig17_milestone", "run_fig11_milestone"]
 
 #: The fixed smoke workload: small deterministic figure harnesses that
 #: together exercise every platform and both scenarios in ~30 s.
@@ -89,12 +89,17 @@ def run_smoke(max_workers: Optional[int] = None,
         result = run_experiment(figure, **opts)
         records.append(record_bench(
             f"smoke:{figure}", result.elapsed_s, result.sim_events,
-            path=path, extra={"workers": workers}))
+            path=path, extra={"workers": workers,
+                              "layer_events": result.layer_events}))
     total_wall = sum(r["wall_s"] for r in records)
     total_events = sum(r["sim_events"] for r in records)
+    layer_totals: Dict[str, int] = {}
+    for record in records:
+        for layer, n in record.get("layer_events", {}).items():
+            layer_totals[layer] = layer_totals.get(layer, 0) + n
     records.append(record_bench(
         "smoke:total", total_wall, total_events, path=path,
-        extra={"workers": workers}))
+        extra={"workers": workers, "layer_events": layer_totals}))
     return records
 
 
@@ -132,4 +137,45 @@ def run_fig17_milestone(n_devices: int = 256, seed: int = 0,
         raise AssertionError(
             f"engine parity violated: legacy makespan "
             f"{makespans['legacy-tick']} != vector {makespans['vector']}")
+    return records
+
+
+def run_fig11_milestone(app_key: str = "S3", seed: int = 0,
+                        duration_s: float = 60.0,
+                        load_fraction: float = 0.6,
+                        path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Record the fig11 milestone pair: legacy vs analytic queueing.
+
+    Runs one network/serverless-heavy fig11 cell (``app_key`` on the
+    centralized FaaS platform) through the legacy Resource-based queue
+    machinery and through the analytic virtual-clock path, appending one
+    record each, so BENCH_kernel.json carries the before/after evidence
+    for the flattened network and serverless service layers. The two runs
+    must produce byte-identical task-latency rows (the determinism
+    contract); a mismatch raises instead of recording misleading numbers.
+    """
+    from ..apps import app
+    from ..platforms import SingleTierRunner, platform_config
+    from ..sim.kernel import events_consumed
+
+    records = []
+    latencies = {}
+    for label, analytic in (("legacy-queues", False), ("analytic", True)):
+        before = events_consumed()
+        start = time.perf_counter()
+        result = SingleTierRunner(
+            platform_config("centralized_faas"), app(app_key), seed=seed,
+            duration_s=duration_s, load_fraction=load_fraction,
+            analytic_net=analytic).run()
+        wall = time.perf_counter() - start
+        latencies[label] = tuple(result.task_latencies.values)
+        records.append(record_bench(
+            f"milestone:fig11-{app_key}:{label}",
+            wall, events_consumed() - before, path=path,
+            extra={"tasks": len(latencies[label]),
+                   "queueing": label}))
+    if latencies["legacy-queues"] != latencies["analytic"]:
+        raise AssertionError(
+            "queueing parity violated: legacy task latencies differ "
+            "from the analytic virtual-clock path")
     return records

@@ -36,6 +36,9 @@ class ExperimentResult:
     #: Kernel events dispatched while producing this result, pool workers
     #: included (filled in by the registry).
     sim_events: int = 0
+    #: Per-layer breakdown of ``sim_events`` (edge/network/serverless plus
+    #: the untagged remainder under "other"; filled in by the registry).
+    layer_events: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         return render_table(self.headers, self.rows,

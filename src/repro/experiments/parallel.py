@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim import kernel
+from ..sim.accounting import layer_counts
 
 __all__ = [
     "TaskResult",
@@ -40,6 +41,7 @@ __all__ = [
     "run_replicas",
     "run_sweep",
     "total_events_consumed",
+    "total_layer_counts",
 ]
 
 #: One (fn, args, kwargs) call description.
@@ -51,6 +53,11 @@ Call = Tuple[Callable[..., Any], Tuple, Dict[str, Any]]
 #: :func:`total_events_consumed` covers both execution paths).
 _POOL_EVENTS = [0]
 
+#: Per-layer event counts accumulated from pool workers (same pattern as
+#: :data:`_POOL_EVENTS`: workers tally locally, deltas ship back in each
+#: TaskResult).
+_POOL_LAYERS: Dict[str, int] = {}
+
 
 @dataclass(frozen=True)
 class TaskResult:
@@ -60,6 +67,10 @@ class TaskResult:
     value: Any
     wall_s: float
     sim_events: int
+    #: Per-layer share of ``sim_events`` (edge/network/serverless), from
+    #: :mod:`repro.sim.accounting`; events outside any tagged layer are
+    #: the difference from ``sim_events``.
+    layer_events: Optional[Dict[str, int]] = None
 
 
 def replica_seeds(repeats: int, base_seed: int = 0) -> List[int]:
@@ -82,16 +93,28 @@ def total_events_consumed() -> int:
     return kernel.events_consumed() + _POOL_EVENTS[0]
 
 
+def total_layer_counts() -> Dict[str, int]:
+    """Per-layer event counts for this process *and* pool workers."""
+    counts = layer_counts()
+    for layer, n in _POOL_LAYERS.items():
+        counts[layer] = counts.get(layer, 0) + n
+    return counts
+
+
 def _timed_call(task: Tuple[int, Callable, Tuple, Dict]) -> TaskResult:
     index, fn, args, kwargs = task
     events_before = kernel.events_consumed()
+    layers_before = layer_counts()
     start = time.perf_counter()
     value = fn(*args, **kwargs)
+    layers_after = layer_counts()
     return TaskResult(
         index=index,
         value=value,
         wall_s=time.perf_counter() - start,
         sim_events=kernel.events_consumed() - events_before,
+        layer_events={layer: layers_after[layer] - layers_before[layer]
+                      for layer in layers_after},
     )
 
 
@@ -110,6 +133,9 @@ def _try_pool(tasks: List[Tuple[int, Callable, Tuple, Dict]],
     except (OSError, BrokenExecutor):
         return None  # no fork/spawn available here
     _POOL_EVENTS[0] += sum(r.sim_events for r in results)
+    for result in results:
+        for layer, n in (result.layer_events or {}).items():
+            _POOL_LAYERS[layer] = _POOL_LAYERS.get(layer, 0) + n
     return results
 
 

@@ -21,7 +21,8 @@ from . import (
     fig18_validation,
 )
 from .common import ExperimentResult
-from .parallel import total_events_consumed
+from ..sim.accounting import layer_breakdown
+from .parallel import total_events_consumed, total_layer_counts
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
@@ -64,8 +65,14 @@ def run_experiment(figure: str, **options) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {figure!r}; valid: {experiment_ids()}")
     events_before = total_events_consumed()
+    layers_before = total_layer_counts()
     start = time.perf_counter()
     result = runner(**options)
     result.elapsed_s = time.perf_counter() - start
     result.sim_events = total_events_consumed() - events_before
+    layers_after = total_layer_counts()
+    result.layer_events = layer_breakdown(
+        {layer: layers_after[layer] - layers_before.get(layer, 0)
+         for layer in layers_after},
+        result.sim_events)
     return result

@@ -7,15 +7,37 @@ saturation knees in Figs 3b and 17. Random loss is modeled as an expected
 retransmission inflation of the serialization time (adequate for the
 throughput/latency shapes the paper reports; we do not model per-packet
 ARQ state).
+
+Two executions of the same FIFO discipline exist (see DESIGN.md,
+"Virtual-clock queueing"):
+
+- **Analytic (default)** — the link keeps a ``free_at`` virtual clock and
+  computes each transfer's queueing + serialization + propagation in
+  closed form, scheduling **one** kernel event per transfer (two for a
+  queued transfer on a lossy link, where the retry draw must wait for the
+  grant instant to preserve the shared RNG stream's draw order). Exact
+  departure floats go on the heap via ``Environment.timeout_at``, so the
+  results are bit-identical to the legacy path at fixed seeds.
+- **Legacy** (``REPRO_ANALYTIC_NET=0`` / ``analytic=False``) — a
+  capacity-1 :class:`~repro.sim.Resource` plus two timeouts per transfer:
+  the original request/grant/release machinery, kept as the parity
+  oracle.
+
+Either way the bandwidth meter records at **serialization end** (when the
+payload leaves the wire), so utilization windows line up with
+``busy_fraction`` instead of lagging it by the propagation latency.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Generator, Optional
 
 import numpy as np
 
 from ..sim import Environment, Resource
+from ..sim.accounting import tally
+from ..sim.flags import analytic_net_enabled
 from ..telemetry import BandwidthMeter
 
 __all__ = ["Link"]
@@ -29,7 +51,8 @@ class Link:
                  meter: Optional[BandwidthMeter] = None,
                  rng: Optional[np.random.Generator] = None,
                  contention_penalty: float = 0.0,
-                 max_collapse: float = 2.5):
+                 max_collapse: float = 2.5,
+                 analytic: Optional[bool] = None):
         if bandwidth_mbs <= 0:
             raise ValueError("bandwidth must be positive")
         if latency_s < 0:
@@ -51,8 +74,24 @@ class Link:
         #: at ``max_collapse``. Zero for wired links.
         self.contention_penalty = contention_penalty
         self.max_collapse = max_collapse
-        self._channel = Resource(env, capacity=1)
+        self.analytic = analytic_net_enabled(analytic)
         self._busy_s = 0.0
+        if self.analytic:
+            #: Virtual clock: when the wire finishes its last accepted
+            #: serialization.
+            self._free_at = 0.0
+            #: Deterministic links: pending serialization-start times, for
+            #: the backlog (= legacy wait-queue length) at each arrival.
+            self._grants: deque = deque()
+            #: Stochastic links: the gate armed for the next grant instant
+            #: plus the unarmed FIFO behind it, and the current
+            #: serializer's release slot — (serialization end, insertion
+            #: id reserved at its grant) — where that gate fires.
+            self._armed = None
+            self._waiting: deque = deque()
+            self._release = (0.0, 0)
+        else:
+            self._channel = Resource(env, capacity=1)
 
     def serialization_time(self, megabytes: float) -> float:
         """Time on the wire for ``megabytes``, including expected loss."""
@@ -61,14 +100,34 @@ class Link:
             base /= (1.0 - self.loss_rate)
         return base
 
-    def transfer(self, megabytes: float) -> Generator:
+    def transfer(self, megabytes: float,
+                 extra_delay_s: float = 0.0) -> Generator:
         """Process: queue for the link, serialize, then propagate.
 
         Yields until the payload is fully delivered; returns the total
         seconds the transfer took (queueing + serialization + latency).
+        ``extra_delay_s`` is a fixed post-propagation delay (e.g. the
+        wireless base RTT) folded into the completion event on the
+        analytic path so the caller does not pay a separate timeout.
         """
         if megabytes < 0:
             raise ValueError("megabytes must be non-negative")
+        if not self.analytic:
+            result = yield from self._transfer_legacy(
+                megabytes, extra_delay_s)
+            return result
+        if self._rng is not None and self.loss_rate:
+            result = yield from self._transfer_stochastic(
+                megabytes, extra_delay_s)
+            return result
+        result = yield from self._transfer_deterministic(
+            megabytes, extra_delay_s)
+        return result
+
+    # -- legacy path (REPRO_ANALYTIC_NET=0): the parity oracle --------------
+    def _transfer_legacy(self, megabytes: float,
+                         extra_delay_s: float) -> Generator:
+        tally("network", 3 + (1 if extra_delay_s else 0))
         start = self.env.now
         backlog = self.queue_length
         with self._channel.request() as grant:
@@ -83,14 +142,114 @@ class Link:
                                1.0 + self.contention_penalty * backlog)
             self._busy_s += service
             yield self.env.timeout(service)
+        ser_end = self.env.now
         yield self.env.timeout(self.latency_s)
         if self.meter is not None:
-            self.meter.record(self.env.now, megabytes)
+            self.meter.record(ser_end, megabytes)
+        if extra_delay_s:
+            yield self.env.timeout(extra_delay_s)
         return self.env.now - start
+
+    # -- analytic paths -----------------------------------------------------
+    def _transfer_deterministic(self, megabytes: float,
+                                extra_delay_s: float) -> Generator:
+        """Closed-form FIFO: no RNG involved, so the grant instant is
+        computable at arrival and one completion event suffices."""
+        tally("network", 1)
+        env = self.env
+        start = env.now
+        grants = self._grants
+        while grants and grants[0] <= start:
+            grants.popleft()
+        backlog = len(grants)
+        grant_at = self._free_at
+        if grant_at < start:
+            grant_at = start
+        else:
+            grants.append(grant_at)
+        service = self.serialization_time(megabytes)
+        if self.contention_penalty:
+            service *= min(self.max_collapse,
+                           1.0 + self.contention_penalty * backlog)
+        self._busy_s += service
+        ser_end = grant_at + service
+        self._free_at = ser_end
+        completion = ser_end + self.latency_s
+        if extra_delay_s:
+            completion = completion + extra_delay_s
+        yield env.timeout_at(completion)
+        if self.meter is not None:
+            self.meter.record(ser_end, megabytes)
+        return env.now - start
+
+    def _transfer_stochastic(self, megabytes: float,
+                             extra_delay_s: float) -> Generator:
+        """Lossy links draw their retry count from a stream *shared with
+        the other wireless links*, so draws must happen at the grant
+        instant in global grant order — exactly where the legacy path
+        draws. A queued transfer parks on a gate event armed at the
+        predecessor's *release slot* — its serialization end under an
+        insertion id reserved at its grant dispatch, the heap position
+        the legacy service timeout (whose dispatch performs the release)
+        would have occupied — so same-instant grants across links keep
+        the legacy order. An idle link grants (and draws) inline at
+        arrival."""
+        env = self.env
+        start = env.now
+        backlog = ((1 if self._armed is not None else 0) +
+                   len(self._waiting))
+        if (self._armed is None and not self._waiting and
+                self._free_at <= start):
+            tally("network", 1)
+            grant_at = start
+        else:
+            tally("network", 2)
+            gate = env.event()
+            if self._armed is None:
+                # The current serializer's release slot is known: arm there.
+                self._armed = gate
+                when, eid = self._release
+                env.succeed_at_eid(gate, when, eid)
+            else:
+                self._waiting.append(gate)
+            yield gate
+            self._armed = None
+            grant_at = env.now
+        release_eid = env.reserve_eid()
+        retries = self._rng.geometric(1.0 - self.loss_rate) - 1
+        service = (megabytes / self.bandwidth_mbs) * (1 + retries)
+        if self.contention_penalty:
+            service *= min(self.max_collapse,
+                           1.0 + self.contention_penalty * backlog)
+        self._busy_s += service
+        ser_end = grant_at + service
+        self._free_at = ser_end
+        self._release = (ser_end, release_eid)
+        if self._waiting:
+            follower = self._waiting.popleft()
+            self._armed = follower
+            env.succeed_at_eid(follower, ser_end, release_eid)
+        completion = ser_end + self.latency_s
+        if extra_delay_s:
+            completion = completion + extra_delay_s
+        yield env.timeout_at(completion)
+        if self.meter is not None:
+            self.meter.record(ser_end, megabytes)
+        return env.now - start
 
     @property
     def queue_length(self) -> int:
-        return len(self._channel.queue)
+        """Transfers arrived but not yet serializing (the wait queue)."""
+        if not self.analytic:
+            return len(self._channel.queue)
+        if self._rng is not None and self.loss_rate:
+            return ((1 if self._armed is not None else 0) +
+                    len(self._waiting))
+        grants = self._grants
+        now = self.env.now
+        while grants and grants[0] <= now:
+            grants.popleft()
+        return len(grants)
 
     def busy_fraction(self, horizon_s: float) -> float:
         """Fraction of ``horizon_s`` the link spent serializing."""

@@ -75,14 +75,14 @@ class EdgeCloudRpc:
 
     def push(self, device_id: str, megabytes: float) -> Generator:
         """Process: one-way upload (streaming sensor data). The TCP ack
-        still crosses the air, so the caller pays one base RTT."""
+        still crosses the air, so the caller pays one base RTT — folded
+        into the upload's completion event on the analytic link path."""
         processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
                       self.PER_MB_MARSHAL_S * megabytes)
         yield self.env.timeout(processing)
-        wire_s = yield from self.wireless.upload(device_id, megabytes)
-        rtt = self.wireless.constants.base_rtt_s
-        yield self.env.timeout(rtt)
-        wire_s += rtt
+        wire_s = yield from self.wireless.upload(
+            device_id, megabytes,
+            extra_delay_s=self.wireless.constants.base_rtt_s)
         return RpcResult(
             total_s=processing + wire_s, wire_s=wire_s,
             processing_s=processing, request_mb=megabytes, response_mb=0.0)

@@ -27,10 +27,12 @@ class ToRSwitch:
     """Shared switching fabric with a per-hop latency."""
 
     def __init__(self, env: Environment, constants: ClusterConstants,
-                 meter: Optional[BandwidthMeter] = None):
+                 meter: Optional[BandwidthMeter] = None,
+                 analytic: Optional[bool] = None):
         self.fabric = Link(
             env, "tor", constants.tor_mbps * MB_PER_MBIT,
-            latency_s=constants.tor_latency_s, meter=meter)
+            latency_s=constants.tor_latency_s, meter=meter,
+            analytic=analytic)
 
 
 class ClusterNetwork:
@@ -38,11 +40,13 @@ class ClusterNetwork:
 
     def __init__(self, env: Environment, constants: ClusterConstants,
                  meter: Optional[BandwidthMeter] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 analytic: Optional[bool] = None):
         self.env = env
         self.constants = constants
         self.meter = meter if meter is not None else BandwidthMeter("cluster")
-        self.tor = ToRSwitch(env, constants, meter=None)
+        self._analytic = analytic
+        self.tor = ToRSwitch(env, constants, meter=None, analytic=analytic)
         self._tx: Dict[str, Link] = {}
         self._rx: Dict[str, Link] = {}
 
@@ -50,8 +54,10 @@ class ClusterNetwork:
         if server_id in self._tx:
             raise ValueError(f"server {server_id!r} already registered")
         nic_mbs = self.constants.nic_mbps * MB_PER_MBIT
-        self._tx[server_id] = Link(self.env, f"{server_id}.tx", nic_mbs)
-        self._rx[server_id] = Link(self.env, f"{server_id}.rx", nic_mbs)
+        self._tx[server_id] = Link(self.env, f"{server_id}.tx", nic_mbs,
+                                   analytic=self._analytic)
+        self._rx[server_id] = Link(self.env, f"{server_id}.rx", nic_mbs,
+                                   analytic=self._analytic)
 
     def has_server(self, server_id: str) -> bool:
         return server_id in self._tx

@@ -30,18 +30,23 @@ class Fabric:
 
 
 def build_fabric(env: Environment, constants: PaperConstants,
-                 streams: Optional[RandomStreams] = None) -> Fabric:
+                 streams: Optional[RandomStreams] = None,
+                 analytic: Optional[bool] = None) -> Fabric:
     """Build the full network fabric for one experiment.
 
     Registers ``constants.cluster.servers`` servers on the ToR and returns
-    the transports the serverless and edge layers use.
+    the transports the serverless and edge layers use. ``analytic``
+    selects the virtual-clock link models (None: the
+    ``REPRO_ANALYTIC_NET`` default, see :mod:`repro.sim.flags`).
     """
     rng = streams.stream("network.loss") if streams is not None else None
     wireless_meter = BandwidthMeter("wireless")
     cluster_meter = BandwidthMeter("cluster")
     wireless = WirelessNetwork(env, constants.wireless,
-                               meter=wireless_meter, rng=rng)
-    cluster = ClusterNetwork(env, constants.cluster, meter=cluster_meter)
+                               meter=wireless_meter, rng=rng,
+                               analytic=analytic)
+    cluster = ClusterNetwork(env, constants.cluster, meter=cluster_meter,
+                             analytic=analytic)
     server_ids = [f"server{i}" for i in range(constants.cluster.servers)]
     for server_id in server_ids:
         cluster.register_server(server_id)

@@ -34,20 +34,21 @@ class AccessPoint:
     def __init__(self, env: Environment, name: str,
                  constants: WirelessConstants,
                  meter: Optional[BandwidthMeter] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 analytic: Optional[bool] = None):
         self.name = name
         self.uplink = Link(
             env, f"{name}.up", constants.ap_mbs,
             latency_s=constants.per_hop_latency_s,
             loss_rate=constants.loss_rate, meter=meter, rng=rng,
             contention_penalty=constants.contention_penalty,
-            max_collapse=constants.max_collapse)
+            max_collapse=constants.max_collapse, analytic=analytic)
         self.downlink = Link(
             env, f"{name}.down", constants.ap_mbs,
             latency_s=constants.per_hop_latency_s,
             loss_rate=constants.loss_rate, meter=meter, rng=rng,
             contention_penalty=constants.contention_penalty,
-            max_collapse=constants.max_collapse)
+            max_collapse=constants.max_collapse, analytic=analytic)
 
 
 class WirelessNetwork:
@@ -55,12 +56,14 @@ class WirelessNetwork:
 
     def __init__(self, env: Environment, constants: WirelessConstants,
                  meter: Optional[BandwidthMeter] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 analytic: Optional[bool] = None):
         self.env = env
         self.constants = constants
         self.meter = meter if meter is not None else BandwidthMeter("wireless")
         self.access_points: List[AccessPoint] = [
-            AccessPoint(env, f"ap{i}", constants, meter=self.meter, rng=rng)
+            AccessPoint(env, f"ap{i}", constants, meter=self.meter, rng=rng,
+                        analytic=analytic)
             for i in range(constants.access_points)
         ]
         self._assignment: Dict[str, AccessPoint] = {}
@@ -81,26 +84,33 @@ class WirelessNetwork:
             raise KeyError(f"device {device_id!r} is not attached")
         return ap
 
-    def upload(self, device_id: str, megabytes: float) -> Generator:
+    def upload(self, device_id: str, megabytes: float,
+               extra_delay_s: float = 0.0) -> Generator:
         """Process: send ``megabytes`` from device to the cloud edge."""
         ap = self.attach(device_id)
-        took = yield from ap.uplink.transfer(megabytes)
+        took = yield from ap.uplink.transfer(megabytes,
+                                             extra_delay_s=extra_delay_s)
         return took
 
-    def download(self, device_id: str, megabytes: float) -> Generator:
+    def download(self, device_id: str, megabytes: float,
+                 extra_delay_s: float = 0.0) -> Generator:
         """Process: send ``megabytes`` from the cloud edge to the device."""
         ap = self.attach(device_id)
-        took = yield from ap.downlink.transfer(megabytes)
+        took = yield from ap.downlink.transfer(megabytes,
+                                               extra_delay_s=extra_delay_s)
         return took
 
     def round_trip(self, device_id: str, up_mb: float,
                    down_mb: float) -> Generator:
-        """Process: request up, response down; returns total seconds."""
+        """Process: request up, response down; returns total seconds.
+
+        The association/MAC overhead per exchange (``base_rtt_s``) is a
+        fixed trailing delay, folded into the download's completion event
+        on the analytic link path."""
         start = self.env.now
         yield from self.upload(device_id, up_mb)
-        yield from self.download(device_id, down_mb)
-        # Association/MAC overhead per exchange.
-        yield self.env.timeout(self.constants.base_rtt_s)
+        yield from self.download(device_id, down_mb,
+                                 extra_delay_s=self.constants.base_rtt_s)
         return self.env.now - start
 
     @property

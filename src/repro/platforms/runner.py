@@ -70,7 +70,8 @@ class SingleTierRunner:
                  fps: Optional[float] = None,
                  iaas_headroom: float = 1.25,
                  bursty: bool = True,
-                 rate_override: Optional[float] = None):
+                 rate_override: Optional[float] = None,
+                 analytic_net: Optional[bool] = None):
         self.config = config
         self.app = app
         self.constants = constants
@@ -104,6 +105,9 @@ class SingleTierRunner:
         #: Exact per-device task rate (validation runs pin this so the
         #: analytical model shares the operating point).
         self.rate_override = rate_override
+        #: Analytic virtual-clock queueing (None = REPRO_ANALYTIC_NET env,
+        #: default on); False restores the legacy network/serverless path.
+        self.analytic_net = analytic_net
 
     # -- derived workload parameters ------------------------------------------
     @property
@@ -150,7 +154,8 @@ class SingleTierRunner:
     def run(self) -> RunResult:
         env = Environment()
         streams = RandomStreams(self.seed)
-        fabric = build_fabric(env, self._fabric_constants(), streams)
+        fabric = build_fabric(env, self._fabric_constants(), streams,
+                              analytic=self.analytic_net)
         latencies = MetricSeries(f"{self.app.key}.{self.config.name}")
         breakdowns = BreakdownAggregate()
         rng = streams.stream("runner.workload")
@@ -177,7 +182,8 @@ class SingleTierRunner:
                              else self.config.container_keepalive_s),
                 n_controllers=self._n_controllers(),
                 cluster_network=fabric.cluster,
-                remote_memory=remote_memory)
+                remote_memory=remote_memory,
+                analytic=self.analytic_net)
             if self.config.straggler_mitigation:
                 mitigator = StragglerMitigator(
                     env, platform, self.constants.control)

@@ -66,7 +66,8 @@ class ScenarioRunner:
                  fps: Optional[float] = None,
                  iaas_baseline_devices: int = 16,
                  passes: int = 1,
-                 vector_edge: Optional[bool] = None):
+                 vector_edge: Optional[bool] = None,
+                 analytic_net: Optional[bool] = None):
         self.config = config
         self.scenario = scenario
         self.constants = (constants if n_devices is None
@@ -90,6 +91,11 @@ class ScenarioRunner:
         self.vector_edge = (
             vector_edge if vector_edge is not None
             else os.environ.get("REPRO_VECTOR_EDGE", "1") != "0")
+        #: Analytic virtual-clock queueing in the network and serverless
+        #: layers (default on; REPRO_ANALYTIC_NET=0 or analytic_net=False
+        #: falls back to the legacy Resource-based machinery —
+        #: bit-identical results).
+        self.analytic_net = analytic_net
 
     # -- defaults -------------------------------------------------------------
     def _default_retraining(self) -> RetrainingMode:
@@ -123,7 +129,8 @@ class ScenarioRunner:
         engine = SwarmEngine(env) if self.vector_edge else None
         streams = RandomStreams(self.seed)
         constants = self.constants
-        fabric = build_fabric(env, self._fabric_constants(), streams)
+        fabric = build_fabric(env, self._fabric_constants(), streams,
+                              analytic=self.analytic_net)
         app = self.scenario.recognition
         rng = streams.stream("scenario.workload")
 
@@ -179,7 +186,8 @@ class ScenarioRunner:
                 keepalive_s=self.config.container_keepalive_s,
                 n_controllers=self._n_controllers(),
                 cluster_network=fabric.cluster,
-                remote_memory=remote_memory)
+                remote_memory=remote_memory,
+                analytic=self.analytic_net)
             if self.config.straggler_mitigation:
                 mitigator = StragglerMitigator(env, platform,
                                                constants.control)

@@ -11,16 +11,28 @@ the figures depend on:
 - a single serialized service queue, so concurrent accessors interfere
   (section 4.4: "expensive, especially when many functions try to access
   data concurrently").
+
+The concurrency-``k`` FIFO service runs analytically by default: a
+``k``-entry min-heap of server-free times yields each operation's grant
+instant in O(log k), and one ``timeout_at`` event replaces the legacy
+request/grant/timeout/release machinery. CouchDB owns its RNG stream
+exclusively and FIFO multi-server grant order equals arrival order, so the
+Pareto tail draw can move to arrival time without perturbing the draw
+sequence (see DESIGN.md, "Virtual-clock queueing").
+``REPRO_ANALYTIC_NET=0`` / ``analytic=False`` restores the legacy path.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+import heapq
+from typing import Generator, List, Optional
 
 import numpy as np
 
 from ..config import ServerlessConstants
 from ..sim import Environment, Resource
+from ..sim.accounting import tally
+from ..sim.flags import analytic_net_enabled
 
 __all__ = ["CouchDB"]
 
@@ -31,11 +43,19 @@ class CouchDB:
     def __init__(self, env: Environment,
                  constants: Optional[ServerlessConstants] = None,
                  rng: Optional[np.random.Generator] = None,
-                 concurrency: int = 8):
+                 concurrency: int = 8,
+                 analytic: Optional[bool] = None):
         self.env = env
         self.constants = constants or ServerlessConstants()
         self._rng = rng
-        self._service = Resource(env, capacity=concurrency)
+        self.analytic = analytic_net_enabled(analytic)
+        if self.analytic:
+            #: Virtual clocks: when each of the ``concurrency`` servers
+            #: frees up. Lazily grown so an idle store costs nothing.
+            self._free: List[float] = [0.0] * concurrency
+            heapq.heapify(self._free)
+        else:
+            self._service = Resource(env, capacity=concurrency)
         self.operations = 0
         self._documents = {}
 
@@ -49,24 +69,34 @@ class CouchDB:
         multiplier = (1.0 + self._rng.pareto(alpha))
         return base * multiplier
 
+    def _serve(self, duration: float) -> Generator:
+        """Process: one FIFO pass through the concurrency-k service."""
+        if self.analytic:
+            tally("serverless", 1)
+            free_at = heapq.heappop(self._free)
+            grant_at = free_at if free_at > self.env.now else self.env.now
+            end = grant_at + duration
+            heapq.heappush(self._free, end)
+            yield self.env.timeout_at(end)
+        else:
+            tally("serverless", 2)
+            with self._service.request() as grant:
+                yield grant
+                yield self.env.timeout(duration)
+        self.operations += 1
+
     def access(self, megabytes: float = 0.0) -> Generator:
         """Process: one read-or-write of ``megabytes``; returns seconds."""
         if megabytes < 0:
             raise ValueError("size must be non-negative")
         start = self.env.now
-        with self._service.request() as grant:
-            yield grant
-            yield self.env.timeout(self._op_latency(megabytes))
-        self.operations += 1
+        yield from self._serve(self._op_latency(megabytes))
         return self.env.now - start
 
     def authenticate(self) -> Generator:
         """Process: the per-request subject/auth lookup; returns seconds."""
         start = self.env.now
-        with self._service.request() as grant:
-            yield grant
-            yield self.env.timeout(self.constants.auth_check_s)
-        self.operations += 1
+        yield from self._serve(self.constants.auth_check_s)
         return self.env.now - start
 
     def store(self, key: str, megabytes: float) -> Generator:

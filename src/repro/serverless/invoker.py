@@ -16,6 +16,8 @@ import numpy as np
 from ..cluster import Server
 from ..config import ServerlessConstants
 from ..sim import Environment
+from ..sim.accounting import tally
+from ..sim.flags import analytic_net_enabled
 from .container import FunctionContainer
 from .function import Invocation, InvocationRequest
 
@@ -48,7 +50,8 @@ class Invoker:
                  constants: ServerlessConstants,
                  rng: np.random.Generator,
                  fault_rate: float = 0.0,
-                 keepalive_s: Optional[float] = None):
+                 keepalive_s: Optional[float] = None,
+                 analytic: Optional[bool] = None):
         if not 0 <= fault_rate < 1:
             raise ValueError("fault rate must be in [0, 1)")
         self.env = env
@@ -58,7 +61,14 @@ class Invoker:
         self.fault_rate = fault_rate
         self.keepalive_s = (keepalive_s if keepalive_s is not None
                             else constants.default_keepalive_s)
+        self.analytic = analytic_net_enabled(analytic)
         self._warm: Dict[str, List[FunctionContainer]] = {}
+        #: Activations asleep waiting for container memory (analytic
+        #: path): woken by the server's free-memory hook or by a new
+        #: evictable warm container instead of a retry timer.
+        self._mem_waiters: List = []
+        if self.analytic:
+            server.add_free_memory_listener(self._signal_memory)
         #: Machine-health multiplier on service times (thermal throttling,
         #: failing disks, noisy neighbours outside our control): the
         #: straggler source the p90 mitigation targets (section 4.6).
@@ -99,6 +109,11 @@ class Invoker:
                 and prefer.compatible_with(request.spec):
             pool.remove(prefer)
             return prefer
+        if pool and pool[0].compatible_with(request.spec):
+            # Indexed hit: the image keys the pool and in steady state
+            # every container of an image has the same memory class, so
+            # the oldest (head) container is the match — no scan.
+            return pool.pop(0)
         for container in pool:
             if container.compatible_with(request.spec):
                 pool.remove(container)
@@ -139,6 +154,47 @@ class Invoker:
     def warm_count(self) -> int:
         return sum(len(pool) for pool in self._warm.values())
 
+    # -- memory waits --------------------------------------------------------
+    def _signal_memory(self) -> None:
+        """Wake every sleeping activation: memory state changed."""
+        if not self._mem_waiters:
+            return
+        waiters, self._mem_waiters = self._mem_waiters, []
+        now = self.env.now
+        for gate in waiters:
+            gate.succeed(now)
+
+    def _reserve_container_memory(self, memory_mb: float) -> Generator:
+        """Process: claim ``memory_mb``, evicting stale warm containers.
+
+        The legacy path polls every ``MEMORY_RETRY_S``; between memory
+        releases and warm-container arrivals those polls are provably
+        no-ops (nothing to reserve, nothing to evict), so the analytic
+        path sleeps on the release hook and then resumes at the first
+        boundary of the legacy poll grid after the signal — the same
+        accumulated ``now + 0.05 + 0.05 + ...`` floats, so reservations
+        land at identical instants.
+        """
+        if not self.analytic:
+            while not self.server.reserve_memory(memory_mb):
+                if not self._evict_one_warm():
+                    tally("serverless", 1)
+                    yield self.env.timeout(self.MEMORY_RETRY_S)
+            return
+        boundary = None
+        while not self.server.reserve_memory(memory_mb):
+            if self._evict_one_warm():
+                continue
+            if boundary is None:
+                boundary = self.env.now
+            tally("serverless", 2)
+            gate = self.env.event()
+            self._mem_waiters.append(gate)
+            signal_time = yield gate
+            while boundary <= signal_time:
+                boundary += self.MEMORY_RETRY_S
+            yield self.env.timeout_at(boundary)
+
     # -- execution ------------------------------------------------------------
     def _cold_start_time(self) -> float:
         median = self.constants.cold_start_median_s
@@ -167,15 +223,14 @@ class Invoker:
         else:
             # Cold path: reserve memory (evicting stale warm containers if
             # needed), then pay the Docker instantiation cost.
-            while not self.server.reserve_memory(request.spec.memory_mb):
-                if not self._evict_one_warm():
-                    yield self.env.timeout(self.MEMORY_RETRY_S)
+            yield from self._reserve_container_memory(request.spec.memory_mb)
             container = FunctionContainer(
                 self.server.server_id, request.spec.image,
                 request.spec.memory_mb)
             start_cost = self._cold_start_time()
             self.cold_starts += 1
             invocation.cold_start = True
+        tally("serverless", 1)
         yield self.env.timeout(start_cost)
         invocation.instantiation_s += start_cost
         invocation.breakdown.charge("management", start_cost)
@@ -197,6 +252,7 @@ class Invoker:
             prefer_container is not None and container is prefer_container)
 
         while True:
+            tally("serverless", 2)  # core grant + compute timeout
             grant = yield from self.server.acquire_cores(1)
             invocation.t_exec_start = (
                 invocation.t_exec_start or self.env.now)
@@ -228,6 +284,9 @@ class Invoker:
         else:
             container.mark_warm(self.env.now, self.keepalive_s)
             self._warm.setdefault(container.image, []).append(container)
+            if self.analytic:
+                # A fresh warm container is evictable: wake memory waits.
+                self._signal_memory()
         return invocation
 
     # -- Kafka consumer -------------------------------------------------------
@@ -239,11 +298,19 @@ class Invoker:
         consumed activation runs concurrently (containers start in
         parallel) and signals its ``done`` event on completion.
         """
+        if self.analytic and hasattr(bus, "subscribe"):
+            bus.subscribe(topic, self._spawn_handler)
+            return
         self._consumer = self.env.process(self._consume(bus, topic))
+
+    def _spawn_handler(self, message: ActivationMessage) -> None:
+        tally("serverless", 1)  # the handler process start
+        self.env.process(self._handle(message))
 
     def _consume(self, bus, topic: str) -> Generator:
         while True:
             message = yield from bus.consume(topic)
+            tally("serverless", 1)  # the handler process start
             self.env.process(self._handle(message))
 
     def _handle(self, message: ActivationMessage) -> Generator:

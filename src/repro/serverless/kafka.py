@@ -8,22 +8,34 @@ simulating brokers.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, Optional
 
 from ..config import ServerlessConstants
 from ..sim import Environment, Store
+from ..sim.accounting import tally
+from ..sim.flags import analytic_net_enabled
 
 __all__ = ["KafkaBus"]
 
 
 class KafkaBus:
-    """Named topics with a fixed hop latency."""
+    """Named topics with a fixed hop latency.
+
+    Topics are unbounded, so on the analytic fast path a publish appends
+    its message inline after the hop latency (``Store.put_nowait``)
+    instead of paying a put-event round trip; waiting consumers are
+    served in exactly the order the blocking put would have produced.
+    ``REPRO_ANALYTIC_NET=0`` / ``analytic=False`` restores the blocking
+    put."""
 
     def __init__(self, env: Environment,
-                 constants: Optional[ServerlessConstants] = None):
+                 constants: Optional[ServerlessConstants] = None,
+                 analytic: Optional[bool] = None):
         self.env = env
         self.constants = constants or ServerlessConstants()
+        self.analytic = analytic_net_enabled(analytic)
         self._topics: Dict[str, Store] = {}
+        self._subscribers: Dict[str, Callable[[Any], None]] = {}
         self.published = 0
 
     def topic(self, name: str) -> Store:
@@ -33,14 +45,37 @@ class KafkaBus:
             self._topics[name] = found
         return found
 
+    def subscribe(self, topic: str, callback: Callable[[Any], None]) -> None:
+        """Register a direct-delivery consumer for ``topic``.
+
+        A publish then hands the message straight to ``callback`` at
+        delivery time (after the hop latency) instead of waking a
+        blocking-consume loop through the topic store — one fewer kernel
+        event per activation, same delivery instant and FIFO order."""
+        if topic in self._subscribers:
+            raise ValueError(f"topic {topic!r} already has a subscriber")
+        self._subscribers[topic] = callback
+
     def publish(self, topic: str, message: Any) -> Generator:
         """Process: publish after the bus hop latency."""
         yield self.env.timeout(self.constants.kafka_hop_s)
-        yield self.topic(topic).put(message)
+        callback = self._subscribers.get(topic)
+        if callback is not None:
+            tally("serverless", 1)
+            callback(message)
+            self.published += 1
+            return
+        store = self.topic(topic)
+        if self.analytic and store.put_nowait(message):
+            tally("serverless", 1)
+        else:
+            tally("serverless", 2)
+            yield store.put(message)
         self.published += 1
 
     def consume(self, topic: str) -> Generator:
         """Process: blocking consume of the next message on ``topic``."""
+        tally("serverless", 1)
         message = yield self.topic(topic).get()
         return message
 

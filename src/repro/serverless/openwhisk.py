@@ -14,6 +14,8 @@ carries the management / data-I/O / execution split of Figs 3a, 6b and 12.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from typing import Generator, List, Optional, Tuple
 
 from ..cluster import Cluster
@@ -21,6 +23,8 @@ from ..config import ServerlessConstants
 from ..hardware.remote_memory import RemoteMemoryFabric
 from ..network.rpc import SoftwareClusterRpc
 from ..network.switch import ClusterNetwork
+from ..sim.accounting import tally
+from ..sim.flags import analytic_net_enabled
 from ..sim import Environment, NullTracer, RandomStreams, Resource
 from .couchdb import CouchDB
 from .datasharing import (
@@ -52,7 +56,8 @@ class OpenWhiskPlatform:
                  n_controllers: int = 1,
                  cluster_network: Optional[ClusterNetwork] = None,
                  remote_memory: Optional[RemoteMemoryFabric] = None,
-                 tracer=None):
+                 tracer=None,
+                 analytic: Optional[bool] = None):
         if sharing not in SHARING_PROTOCOLS:
             raise ValueError(f"unknown sharing protocol {sharing!r}")
         if n_controllers <= 0:
@@ -61,12 +66,14 @@ class OpenWhiskPlatform:
         self.cluster = cluster
         self.constants = constants or ServerlessConstants()
         self.couchdb = CouchDB(env, self.constants,
-                               rng=streams.stream("serverless.couchdb"))
-        self.kafka = KafkaBus(env, self.constants)
+                               rng=streams.stream("serverless.couchdb"),
+                               analytic=analytic)
+        self.kafka = KafkaBus(env, self.constants, analytic=analytic)
         self.invokers: List[Invoker] = [
             Invoker(env, server, self.constants,
                     rng=streams.stream(f"serverless.invoker.{server_id}"),
-                    fault_rate=fault_rate, keepalive_s=keepalive_s)
+                    fault_rate=fault_rate, keepalive_s=keepalive_s,
+                    analytic=analytic)
             for server_id, server in sorted(cluster.servers.items())
         ]
         # Each invoker consumes its own Kafka topic (section 4.3).
@@ -82,9 +89,25 @@ class OpenWhiskPlatform:
         #: Shared-state controller capacity: HiveMind can run several
         #: schedulers with global visibility (section 4.3); stock OpenWhisk
         #: has one. This is the centralized-scalability bottleneck of Fig 1.
-        self._controller = Resource(env, capacity=n_controllers)
-        self._concurrency = Resource(
-            env, capacity=self.constants.concurrency_limit)
+        #: The hold time is fixed, so the analytic path replaces the
+        #: Resource with a k-entry min-heap of controller-free times
+        #: (grant order = arrival order either way).
+        self.analytic = analytic_net_enabled(analytic)
+        if self.analytic:
+            self._controller_free = [0.0] * n_controllers
+            heapq.heapify(self._controller_free)
+        else:
+            self._controller = Resource(env, capacity=n_controllers)
+        #: Admission control (the platform-wide in-flight cap). The hold
+        #: spans the whole activation, so this cannot become a virtual
+        #: clock; instead the analytic path keeps an integer occupancy and
+        #: only materializes an event for admissions that actually wait.
+        if self.analytic:
+            self._admitted = 0
+            self._adm_waiters: deque = deque()
+        else:
+            self._concurrency = Resource(
+                env, capacity=self.constants.concurrency_limit)
         self.sharing_name = sharing
         self._sharing_couchdb = CouchDBSharing(env, self.couchdb,
                                                self.constants)
@@ -164,44 +187,89 @@ class OpenWhiskPlatform:
     def invoke(self, request: InvocationRequest) -> Generator:
         """Process: run one activation end to end; returns the Invocation."""
         invocation = Invocation(request=request, t_arrive=self.env.now)
+        if self.analytic:
+            result = yield from self._invoke_admitted(request, invocation)
+            return result
         with self._concurrency.request() as admitted:
             yield admitted
             self._task_started()
             try:
-                # Front end + auth check against CouchDB.
-                yield self.env.timeout(self.constants.frontend_latency_s)
-                auth_s = yield from self.couchdb.authenticate()
-                invocation.breakdown.charge(
-                    "management", self.constants.frontend_latency_s + auth_s)
-                # Controller: queue for a scheduler slot, decide placement.
-                queue_start = self.env.now
-                with self._controller.request() as slot:
-                    yield slot
-                    yield self.env.timeout(
-                        self.constants.controller_decision_s +
-                        self.constants.controller_service_s)
-                    placement = self.scheduler.place(request)
-                invocation.breakdown.charge(
-                    "management", self.env.now - queue_start)
-                # Fetch the parent's output (protocol depends on placement).
-                yield from self._share_parent_output(
-                    request, invocation, placement)
-                # Activation travels over Kafka to the chosen invoker's
-                # topic; its consumer instantiates and executes, and the
-                # caller blocks on the completion event.
-                kafka_start = self.env.now
-                done = self.env.event()
-                message = ActivationMessage(
-                    request, invocation, placement.container, done)
-                yield from self.kafka.publish(
-                    self._topic_of(placement.invoker), message)
-                invocation.breakdown.charge(
-                    "management", self.env.now - kafka_start)
-                invocation.t_scheduled = self.env.now
-                yield done
-                invocation.t_complete = self.env.now
+                yield from self._pipeline(request, invocation)
             finally:
                 self._task_finished()
+        self._finish_invocation(invocation)
+        return invocation
+
+    def _pipeline(self, request: InvocationRequest,
+                  invocation: Invocation) -> Generator:
+        """Process: the admitted activation pipeline (front end through
+        completion), shared by the legacy and analytic admission paths."""
+        # Front end + auth check against CouchDB.
+        yield self.env.timeout(self.constants.frontend_latency_s)
+        auth_s = yield from self.couchdb.authenticate()
+        invocation.breakdown.charge(
+            "management", self.constants.frontend_latency_s + auth_s)
+        # Controller: queue for a scheduler slot, decide placement.
+        queue_start = self.env.now
+        hold = (self.constants.controller_decision_s +
+                self.constants.controller_service_s)
+        if self.analytic:
+            tally("serverless", 1)
+            free_at = heapq.heappop(self._controller_free)
+            grant_at = free_at if free_at > self.env.now else self.env.now
+            end = grant_at + hold
+            heapq.heappush(self._controller_free, end)
+            yield self.env.timeout_at(end)
+        else:
+            tally("serverless", 2)
+            with self._controller.request() as slot:
+                yield slot
+                yield self.env.timeout(hold)
+        placement = self.scheduler.place(request)
+        invocation.breakdown.charge(
+            "management", self.env.now - queue_start)
+        # Fetch the parent's output (protocol depends on placement).
+        yield from self._share_parent_output(request, invocation, placement)
+        # Activation travels over Kafka to the chosen invoker's topic; its
+        # consumer instantiates and executes, and the caller blocks on the
+        # completion event.
+        kafka_start = self.env.now
+        done = self.env.event()
+        message = ActivationMessage(
+            request, invocation, placement.container, done)
+        yield from self.kafka.publish(
+            self._topic_of(placement.invoker), message)
+        invocation.breakdown.charge(
+            "management", self.env.now - kafka_start)
+        invocation.t_scheduled = self.env.now
+        yield done
+        invocation.t_complete = self.env.now
+
+    def _invoke_admitted(self, request: InvocationRequest,
+                         invocation: Invocation) -> Generator:
+        """Analytic admission: claim a slot inline when one is free; park
+        on a gate (granted FIFO at release time, exactly when the legacy
+        Resource would grant) otherwise."""
+        if self._admitted < self.constants.concurrency_limit:
+            self._admitted += 1
+        else:
+            tally("serverless", 1)
+            gate = self.env.event()
+            self._adm_waiters.append(gate)
+            yield gate
+        self._task_started()
+        try:
+            yield from self._pipeline(request, invocation)
+        finally:
+            self._task_finished()
+            if self._adm_waiters:
+                self._adm_waiters.popleft().succeed(None)
+            else:
+                self._admitted -= 1
+        self._finish_invocation(invocation)
+        return invocation
+
+    def _finish_invocation(self, invocation: Invocation) -> None:
         self.invocations.append(invocation)
         self.tracer.emit(
             self.env.now, "invocation",

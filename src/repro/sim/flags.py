@@ -1,0 +1,34 @@
+"""Runtime fast-path kill switches.
+
+Each big event-count optimisation ships with a fallback flag so a
+regression can be bisected to the model, not the optimisation:
+
+- ``REPRO_VECTOR_EDGE=0`` — legacy per-device flight/heartbeat processes
+  instead of the vectorized :class:`~repro.edge.SwarmEngine` (resolved in
+  :class:`~repro.platforms.scenario_runner.ScenarioRunner`).
+- ``REPRO_ANALYTIC_NET=0`` — legacy ``Resource``-based FIFO queueing in
+  the network and serverless service layers instead of the analytic
+  virtual-clock models (resolved here).
+
+Both default to **on**; an explicit constructor argument always wins over
+the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["analytic_net_enabled"]
+
+
+def analytic_net_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the analytic-queueing flag.
+
+    ``override`` (a constructor/runner argument) wins when given;
+    otherwise ``REPRO_ANALYTIC_NET=0`` disables the fast path and any
+    other value (or no variable) enables it.
+    """
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_ANALYTIC_NET", "1") != "0"

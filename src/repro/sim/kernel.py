@@ -438,6 +438,77 @@ class Environment:
             return timeout
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Timeout firing at the *absolute* time ``when``.
+
+        ``timeout(when - now)`` re-derives the target as ``now + (when -
+        now)``, which need not equal ``when`` in float64; analytic models
+        that precompute exact departure instants (virtual-clock queues)
+        need the exact float on the heap. ``when`` at or before ``now``
+        fires at the current instant, in FIFO order.
+        """
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            lpool = self._list_pool
+            timeout.callbacks = lpool.pop() if lpool else []
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+        timeout._ok = True
+        timeout._value = value
+        timeout._defused = True
+        timeout._delay = when - self._now
+        self._schedule_at(timeout, NORMAL, when)
+        return timeout
+
+    def succeed_at(self, event: Event, when: float,
+                   value: Any = None) -> Event:
+        """Trigger ``event`` successfully at the absolute time ``when``.
+
+        The virtual-clock queue models arm waiter gates with this: the
+        event fires at the exact precomputed float instant (see
+        :meth:`timeout_at`), merging into (time, priority, eid) order with
+        an eid drawn now.
+        """
+        if event._value is not _PENDING:
+            raise RuntimeError(f"{event!r} has already been triggered")
+        event._ok = True
+        event._value = value
+        self._schedule_at(event, NORMAL, when)
+        return event
+
+    def reserve_eid(self) -> int:
+        """Draw an insertion id *now* for an event scheduled later.
+
+        The virtual-clock queue models use this to pin a wake-up to the
+        heap position an event the legacy machinery would have scheduled
+        here (e.g. a service timeout) would have occupied, so same-instant
+        dispatch order is identical between the two executions. Reserving
+        without scheduling is harmless: ordering depends only on relative
+        ids, so gaps in the sequence never reorder anything.
+        """
+        return next(self._eid)
+
+    def succeed_at_eid(self, event: Event, when: float, eid: int,
+                       value: Any = None) -> Event:
+        """Trigger ``event`` at ``when`` under a *reserved* insertion id.
+
+        ``when`` at or before ``now`` falls back to a fresh zero-delay
+        schedule — the current-instant FIFOs require monotone ids, and in
+        that regime the legacy machinery would have used a fresh id too.
+        """
+        if event._value is not _PENDING:
+            raise RuntimeError(f"{event!r} has already been triggered")
+        event._ok = True
+        event._value = value
+        if when <= self._now:
+            self._schedule(event, NORMAL)
+        else:
+            heapq.heappush(self._queue, (when, NORMAL, eid, event))
+        return event
+
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
 
@@ -463,6 +534,16 @@ class Environment:
             heapq.heappush(self._queue,
                            (self._now + delay, priority, next(self._eid),
                             event))
+
+    def _schedule_at(self, event: Event, priority: int, when: float) -> None:
+        """Schedule ``event`` at the absolute instant ``when`` (exact
+        float; no ``now + delay`` round trip). Past instants clamp to the
+        current-instant FIFOs."""
+        if when <= self._now:
+            self._schedule(event, priority)
+        else:
+            heapq.heappush(self._queue,
+                           (when, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -34,15 +34,31 @@ class BandwidthMeter:
         return len(self._events)
 
     @property
+    def events(self) -> Tuple[Tuple[float, float], ...]:
+        """The raw (time, megabytes) records, in arrival order."""
+        return tuple(self._events)
+
+    @property
     def total_mb(self) -> float:
-        return sum(mb for _, mb in self._events)
+        # fsum: exact, so the total is independent of record order.
+        return math.fsum(mb for _, mb in self._events)
 
     def _window_series(self, horizon_s: float = None) -> np.ndarray:
-        """MB transferred per window, padded to the horizon."""
+        """MB transferred per window, padded to the horizon.
+
+        Records are reduced in canonical (time, megabytes) order, not
+        arrival order: transfers completing at the same instant may be
+        dispatched in either order by equivalent queue executions (see
+        DESIGN.md, "Virtual-clock queueing"), and float accumulation must
+        not expose that tie order as ULP noise in the windowed series.
+        """
         if not self._events:
             return np.zeros(1)
         times = np.array([t for t, _ in self._events])
         sizes = np.array([mb for _, mb in self._events])
+        order = np.lexsort((sizes, times))
+        times = times[order]
+        sizes = sizes[order]
         end = horizon_s if horizon_s is not None else float(times.max()) + 1e-9
         n_windows = max(1, int(math.ceil(end / self.window_s)))
         series = np.zeros(n_windows)

@@ -1,0 +1,261 @@
+"""Parity suite for the analytic virtual-clock queueing path.
+
+The network and serverless service layers run two executions of the same
+queue disciplines (see DESIGN.md, "Virtual-clock queueing"): the default
+analytic path computes departures in closed form, and the legacy
+Resource-based machinery survives behind ``REPRO_ANALYTIC_NET=0`` /
+``analytic=False`` as the parity oracle. The contract is *exact* float
+equality at fixed seeds — mirroring ``tests/edge/test_engine_parity.py``
+— across platforms, scenarios, and failure injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import SCENARIO_A, SCENARIO_B, app
+from repro.config import ServerlessConstants
+from repro.network import Link
+from repro.platforms import SingleTierRunner, platform_config
+from repro.platforms.scenario_runner import ScenarioRunner
+from repro.serverless import CouchDB
+from repro.sim import Environment
+from repro.sim.kernel import events_consumed
+
+
+# -- single-link property tests ----------------------------------------------
+
+def _link_departures(analytic: bool, seed: int, *, bandwidth: float,
+                     latency: float, loss: float, penalty: float,
+                     schedule) -> list:
+    """Run one randomized offered-load schedule through a Link and return
+    each transfer's (start, duration) pair, in arrival order."""
+    env = Environment()
+    rng = np.random.default_rng(seed) if loss else None
+    link = Link(env, "l", bandwidth_mbs=bandwidth, latency_s=latency,
+                loss_rate=loss, rng=rng, contention_penalty=penalty,
+                analytic=analytic)
+    results = {}
+
+    def one(index, arrive_at, megabytes, extra):
+        yield env.timeout(arrive_at)
+        start = env.now
+        took = yield from link.transfer(megabytes, extra_delay_s=extra)
+        results[index] = (start, took)
+
+    for index, (arrive_at, megabytes, extra) in enumerate(schedule):
+        env.process(one(index, arrive_at, megabytes, extra))
+    env.run()
+    return [results[i] for i in range(len(schedule))]
+
+
+def _random_schedule(seed: int, n: int = 60):
+    """Bursty arrivals: enough same-instant and back-to-back transfers to
+    exercise the backlog/contention paths, not just the idle fast path."""
+    rng = np.random.default_rng(seed)
+    schedule, t = [], 0.0
+    for _ in range(n):
+        # ~1/3 of arrivals land at the same instant as the previous one.
+        if rng.random() > 0.35:
+            t += float(rng.exponential(0.02))
+        megabytes = float(rng.uniform(0.01, 4.0))
+        extra = float(rng.choice([0.0, 0.0, 0.05]))
+        schedule.append((t, megabytes, extra))
+    return schedule
+
+
+class TestLinkProperty:
+    """Randomized offered load: analytic departures == legacy departures."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_deterministic_link(self, seed):
+        schedule = _random_schedule(seed)
+        kwargs = dict(bandwidth=20.0, latency=0.004, loss=0.0,
+                      penalty=0.0, schedule=schedule)
+        assert (_link_departures(True, seed, **kwargs) ==
+                _link_departures(False, seed, **kwargs))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lossy_contended_link(self, seed):
+        """The wireless shape: shared-RNG retry draws + CSMA collapse."""
+        schedule = _random_schedule(seed + 100)
+        kwargs = dict(bandwidth=3.4, latency=0.008, loss=0.08,
+                      penalty=0.12, schedule=schedule)
+        assert (_link_departures(True, seed, **kwargs) ==
+                _link_departures(False, seed, **kwargs))
+
+    def test_busy_accounting_matches(self):
+        schedule = _random_schedule(7)
+        for loss in (0.0, 0.08):
+            links = {}
+            for analytic in (True, False):
+                env = Environment()
+                rng = np.random.default_rng(3) if loss else None
+                link = Link(env, "l", bandwidth_mbs=10.0, latency_s=0.002,
+                            loss_rate=loss, rng=rng, contention_penalty=0.1,
+                            analytic=analytic)
+
+                def feed(link=link, env=env):
+                    for arrive_at, megabytes, extra in schedule:
+                        if arrive_at > env.now:
+                            yield env.timeout(arrive_at - env.now)
+                        env.process(link.transfer(megabytes))
+                env.process(feed())
+                env.run()
+                links[analytic] = link
+            assert (links[True].busy_fraction(10.0) ==
+                    links[False].busy_fraction(10.0))
+
+
+class TestMeterAtSerializationEnd:
+    """Satellite: the meter records when the payload leaves the wire (not
+    after propagation), so utilization windows line up with busy_s."""
+
+    @pytest.mark.parametrize("analytic", [True, False])
+    def test_record_excludes_propagation(self, analytic):
+        from repro.telemetry import BandwidthMeter
+        env = Environment()
+        meter = BandwidthMeter("m", window_s=1.0)
+        # 10 MB/s link, 1.0 s propagation: a 5 MB transfer at t=0
+        # serializes over [0, 0.5] and lands at t=1.5.
+        link = Link(env, "l", bandwidth_mbs=10.0, latency_s=1.0,
+                    meter=meter, analytic=analytic)
+        env.run(env.process(link.transfer(5.0)))
+        assert env.now == 1.5
+        times = [t for t, _ in meter.events]
+        assert times == [0.5]  # serialization end, not propagation end
+
+    @pytest.mark.parametrize("analytic", [True, False])
+    def test_metered_bytes_align_with_busy_fraction(self, analytic):
+        from repro.telemetry import BandwidthMeter
+        env = Environment()
+        meter = BandwidthMeter("m", window_s=1.0)
+        link = Link(env, "l", bandwidth_mbs=10.0, latency_s=2.0,
+                    meter=meter, analytic=analytic)
+
+        # Four transfers offered at t=0 serialize back-to-back over
+        # [0, 4]; each then propagates for 2 s more.
+        for _ in range(4):
+            env.process(link.transfer(10.0))
+        env.run()
+        horizon = 4.0
+        assert link.busy_fraction(horizon) == 1.0
+        assert all(t <= horizon for t, _ in meter.events)
+        assert sum(mb for _, mb in meter.events) == 40.0
+
+
+class TestCouchDBParity:
+    def test_contended_store_parity(self):
+        durations = {}
+        for analytic in (True, False):
+            env = Environment()
+            store = CouchDB(env, ServerlessConstants(),
+                            rng=np.random.default_rng(11),
+                            concurrency=3, analytic=analytic)
+            results = []
+
+            def client(delay, megabytes):
+                yield env.timeout(delay)
+                took = yield from store.access(megabytes)
+                results.append((env.now, took))
+
+            for index in range(24):
+                env.process(client(0.001 * (index % 5), 0.2 * (index % 7)))
+            env.run()
+            durations[analytic] = sorted(results)
+        assert durations[True] == durations[False]
+
+
+# -- full-scenario seed sweep -------------------------------------------------
+
+def _scenario_fingerprint(**kwargs):
+    result = ScenarioRunner(**kwargs).run()
+    return {
+        "makespan": result.extras["makespan_s"],
+        "found": result.extras.get("items_found",
+                                   result.extras.get("unique_people")),
+        "latencies": tuple(result.task_latencies.values),
+        "failed": tuple(result.extras["failed_devices"]),
+        "energy": tuple(tuple(sorted(account.by_category().items()))
+                        for account in result.energy_accounts),
+    }
+
+
+def _cell_fingerprint(**kwargs):
+    result = SingleTierRunner(**kwargs).run()
+    return {
+        "latencies": tuple(result.task_latencies.values),
+        "bandwidth": result.bandwidth_summary(),
+        "tail": result.tail_latency_s,
+    }
+
+
+SCENARIO_CASES = [
+    # (config, scenario, extra kwargs) — centralized FaaS exercises the
+    # full wireless/RPC/Kafka/CouchDB/invoker pipeline; hivemind adds the
+    # accelerated fabric; the failure case covers fault detection and
+    # respawn under both queue executions.
+    ("centralized_faas", SCENARIO_A, {}),
+    ("hivemind", SCENARIO_A, {"fail_device_at": (2, 10.0)}),
+    ("hivemind", SCENARIO_B, {}),
+]
+
+
+class TestScenarioSeedSweep:
+    """≥5 seeds × ≥3 scenarios: every figure row byte-identical between
+    the analytic and legacy paths."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize(
+        "platform,scenario,extra",
+        SCENARIO_CASES,
+        ids=[f"{p}-{s.key}{'-fail' if e else ''}"
+             for p, s, e in SCENARIO_CASES])
+    def test_scenario_rows_identical(self, platform, scenario, extra, seed):
+        base = dict(config=platform_config(platform), scenario=scenario,
+                    seed=seed, n_devices=6, **extra)
+        legacy = _scenario_fingerprint(analytic_net=False, **base)
+        analytic = _scenario_fingerprint(analytic_net=True, **base)
+        assert legacy == analytic
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_cell_rows_identical_with_faults(self, seed):
+        base = dict(config=platform_config("centralized_faas"),
+                    app=app("S3"), seed=seed, duration_s=20.0,
+                    load_fraction=0.8, fault_rate=0.05)
+        legacy = _cell_fingerprint(analytic_net=False, **base)
+        analytic = _cell_fingerprint(analytic_net=True, **base)
+        assert legacy == analytic
+
+    def test_analytic_path_reduces_events(self):
+        base = dict(config=platform_config("centralized_faas"),
+                    app=app("S3"), seed=0, duration_s=30.0,
+                    load_fraction=0.6)
+        counts = {}
+        for analytic in (False, True):
+            before = events_consumed()
+            SingleTierRunner(analytic_net=analytic, **base).run()
+            counts[analytic] = events_consumed() - before
+        assert counts[True] < counts[False] / 1.5
+
+
+class TestEnvKillSwitch:
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYTIC_NET", "0")
+        env = Environment()
+        assert Link(env, "l", 10.0).analytic is False
+        monkeypatch.setenv("REPRO_ANALYTIC_NET", "1")
+        assert Link(Environment(), "l", 10.0).analytic is True
+        # Explicit argument wins over the environment.
+        monkeypatch.setenv("REPRO_ANALYTIC_NET", "1")
+        assert Link(Environment(), "l", 10.0, analytic=False).analytic is False
+        monkeypatch.setenv("REPRO_ANALYTIC_NET", "0")
+        assert Link(Environment(), "l", 10.0, analytic=True).analytic is True
+
+    def test_runner_kwarg_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYTIC_NET", "0")
+        runner = ScenarioRunner(platform_config("hivemind"), SCENARIO_A)
+        assert runner.analytic_net is None  # resolved by the leaves
+        env = Environment()
+        assert Link(env, "l", 10.0).analytic is False
