@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional
 
 from ..config import ClusterConstants
-from ..sim import Container, Environment, Resource
+from ..sim import Container, Environment, Interrupt, Resource
 
 __all__ = ["Server", "CoreGrant", "Cluster"]
 
@@ -53,6 +53,9 @@ class Server:
         #: Set by the straggler mitigator when the node misbehaves
         #: (section 4.6); a server on probation receives no new functions.
         self.probation_until: float = 0.0
+        #: Cleared by :meth:`fail` (chaos server-crash injection); a dead
+        #: server schedules nothing new until :meth:`restore`.
+        self.alive = True
         self._busy_core_seconds = 0.0
         #: Zero-arg callbacks fired on every :meth:`free_memory` (the
         #: invoker's event-driven memory waits hook in here instead of
@@ -83,8 +86,21 @@ class Server:
         self.probation_until = max(self.probation_until,
                                    self.env.now + duration_s)
 
+    def fail(self) -> None:
+        """Crash the server (chaos injection): stop taking new work."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Bring a crashed server back (reboot complete)."""
+        self.alive = True
+
     def acquire_cores(self, n: int = 1) -> Generator:
-        """Process: claim ``n`` pinned cores; returns a :class:`CoreGrant`."""
+        """Process: claim ``n`` pinned cores; returns a :class:`CoreGrant`.
+
+        Interrupt-safe: a process killed while waiting here (server crash,
+        straggler-replica reap) leaks neither its queued request nor any
+        cores it already pinned.
+        """
         if n <= 0:
             raise ValueError("core count must be positive")
         if n > self.cores.capacity:
@@ -92,10 +108,24 @@ class Server:
                 f"requested {n} cores but {self.server_id} has "
                 f"{self.cores.capacity}")
         requests = []
-        for _ in range(n):
-            request = self.cores.request()
-            yield request
-            requests.append(request)
+        request = None
+        try:
+            for _ in range(n):
+                request = self.cores.request()
+                yield request
+                requests.append(request)
+                request = None
+        except Interrupt:
+            if request is not None:
+                # Granted-but-undispatched requests already hold a slot
+                # (usage_since set at grant time); queued ones do not.
+                if request.usage_since is not None:
+                    self.cores.release(request)
+                else:
+                    request.cancel()
+            for granted in requests:
+                self.cores.release(granted)
+            raise
         return CoreGrant(self, requests)
 
     def reserve_memory(self, mb: float) -> bool:

@@ -33,8 +33,12 @@ class FailureDetector:
         self.swarm = swarm
         self.constants = constants or swarm.control
         self.on_failure = on_failure
+        # Seed with the subscription instant, not 0.0: a detector created
+        # (or a device joining) late in the mission would otherwise see a
+        # stale epoch-zero "beat" and declare every device dead on its
+        # first check before a single real heartbeat could land.
         self.last_beat: Dict[str, float] = {
-            device_id: 0.0 for device_id in swarm.devices}
+            device_id: env.now for device_id in swarm.devices}
         self.failed: List[str] = []
         # Observe beats synchronously instead of running a consumer process
         # over the heartbeat bus: each update lands at the same simulated
@@ -45,6 +49,14 @@ class FailureDetector:
 
     def _observe(self, beat) -> None:
         self.last_beat[beat.device_id] = beat.time
+
+    def watch(self, device_id: str) -> None:
+        """Start monitoring a device that joined after construction.
+
+        The grace clock starts now — the late joiner gets a full timeout
+        window to produce its first heartbeat."""
+        if device_id not in self.last_beat:
+            self.last_beat[device_id] = self.env.now
 
     def _check(self) -> Generator:
         timeout = self.constants.heartbeat_timeout_s
@@ -77,6 +89,14 @@ class FailureDetector:
         # they have sufficient battery").
         flat = {d: regions[0] for d, regions in self.swarm.regions.items()
                 if regions and self._eligible(d, device_id)}
+        if not any(d != device_id for d in flat):
+            # Every heir is below the battery floor. An uncovered region
+            # is worse than a tired heir, so relax the floor to "alive"
+            # rather than silently dropping the dead device's area.
+            flat = {d: regions[0]
+                    for d, regions in self.swarm.regions.items()
+                    if regions and (d == device_id or
+                                    self.swarm.devices[d].alive)}
         if device_id not in flat:
             flat[device_id] = self.swarm.regions[device_id][0]
         if len(flat) <= 1:
@@ -84,9 +104,23 @@ class FailureDetector:
                               self.swarm.regions.items() if d != device_id}
         else:
             new_assignment = repartition_on_failure(flat, device_id)
-            # Devices excluded for low battery keep their old regions.
+            # The geometric repartition works on the single-region flat
+            # view; restore everything it left out so no area is dropped:
+            # the failed device's extra regions (inherited from earlier
+            # failures) go to its heirs round-robin, and every survivor
+            # keeps the tail of its own region list.
+            heirs = sorted(d for d, regions in new_assignment.items()
+                           if len(regions) > 1)
+            for index, region in enumerate(
+                    self.swarm.regions[device_id][1:]):
+                new_assignment[heirs[index % len(heirs)]].append(region)
             for d, regions in self.swarm.regions.items():
-                if d != device_id and d not in new_assignment:
+                if d == device_id:
+                    continue
+                if d in new_assignment:
+                    new_assignment[d].extend(regions[1:])
+                else:
+                    # Devices excluded for low battery keep their regions.
                     new_assignment[d] = list(regions)
         self.swarm.regions = {d: list(regions)
                               for d, regions in new_assignment.items()}

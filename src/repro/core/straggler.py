@@ -38,10 +38,21 @@ class StragglerMitigator:
     THRESHOLD_SLACK = 1.5
 
     def __init__(self, env: Environment, platform: OpenWhiskPlatform,
-                 constants: Optional[ControlConstants] = None):
+                 constants: Optional[ControlConstants] = None,
+                 harden_races: bool = False):
         self.env = env
         self.platform = platform
         self.constants = constants or ControlConstants()
+        #: Arm the race-hygiene fixes: strike the server that actually ran
+        #: the losing primary (instead of the legacy scan over completed
+        #: invocations, which misattributes under concurrency) and cancel
+        #: the losing replica instead of letting it hold a container — and
+        #: its memory — for the rest of a possibly very slow straggling
+        #: execution. Off by default: both change which servers go on
+        #: probation and hence the simulation's event stream, and the
+        #: fault-free figures are pinned byte-for-byte; chaos runs arm
+        #: them together with the rest of the recovery machinery.
+        self.harden_races = harden_races
         self._history: Dict[str, MetricSeries] = {}
         self._strikes: Dict[str, int] = {}
         self.duplicates_launched = 0
@@ -107,20 +118,52 @@ class StragglerMitigator:
         final = yield self.env.any_of([primary, duplicate])
         winner: Invocation = next(iter(final.values()))
         self._record(winner)
-        loser_server = None
-        if primary in final and winner.server_id:
+        if primary in final:
             # The duplicate lost; the primary's server was fine after all.
-            pass
+            loser_request = duplicate_request
+            loser_server = None
         else:
             # The duplicate won; the primary's placement was the straggler.
-            loser_server = self._primary_server_hint(request)
+            # The request carries its own in-flight invocation record, so
+            # the strike lands on the server that actually ran it (not on
+            # whichever server last finished a same-named function).
+            loser_request = request
+            loser_server = (self._primary_server_hint(request)
+                            if self.harden_races
+                            else self._legacy_server_hint(request))
         if loser_server:
             self._strike(loser_server)
+        self._reap_loser(loser_request)
         return winner
+
+    def _reap_loser(self, loser_request: InvocationRequest) -> None:
+        """Cancel the losing replica (when armed): its result is redundant,
+        and letting it run to completion holds a container (and its
+        memory) hostage for the rest of a possibly very slow straggling
+        execution. Best-effort — a loser still upstream of its invoker
+        just drains."""
+        if not self.harden_races:
+            return
+        loser = loser_request.inflight
+        if loser is None or loser.t_complete:
+            return  # nothing in flight, or it finished in the same instant
+        self.platform.cancel_invocation(loser)
 
     def _primary_server_hint(self, request: InvocationRequest
                              ) -> Optional[str]:
-        """Best-effort attribution of the straggling server."""
+        """The server the primary actually landed on, once placed."""
+        invocation = request.inflight
+        if invocation is not None and invocation.server_id:
+            return invocation.server_id
+        return None
+
+    def _legacy_server_hint(self, request: InvocationRequest
+                            ) -> Optional[str]:
+        """The original best-effort attribution: the most recent completed
+        same-named invocation's server. Misattributes under concurrent
+        invocations of one function, but the pinned fault-free figures
+        encode the probation schedule it produces, so it stays the
+        default until ``harden_races`` is armed."""
         for invocation in reversed(self.platform.invocations):
             if invocation.spec.name == request.spec.name and \
                     invocation.server_id:

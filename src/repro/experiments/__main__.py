@@ -70,6 +70,16 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
+    parser.add_argument("--chaos", action="store_true",
+                        help="sweep fault plans over the scenario apps and "
+                             "emit a resilience report (exit 1 on any "
+                             "invariant violation)")
+    parser.add_argument("--plans", metavar="NAMES", default=None,
+                        help="comma-separated fault-plan names for --chaos "
+                             "(default: every named plan)")
+    parser.add_argument("--scenarios", metavar="KEYS", default=None,
+                        help="comma-separated scenario keys for --chaos "
+                             "(default: S1,S2,S3)")
     parser.add_argument("--no-vector-edge", action="store_true",
                         help="fall back to the legacy per-device flight "
                              "processes (sets REPRO_VECTOR_EDGE=0)")
@@ -114,6 +124,26 @@ def _print_bench(records) -> None:
 
 
 def _dispatch(args) -> int:
+    if args.chaos:
+        from .chaos import DEFAULT_SCENARIOS, run as run_chaos
+        options = {"base_seed": args.seed}
+        if args.scenarios:
+            options["scenarios"] = [
+                key.strip() for key in args.scenarios.split(",") if key]
+        if args.plans:
+            options["plans"] = [
+                name.strip() for name in args.plans.split(",") if name]
+        result = run_chaos(**options)
+        print(result.render())
+        if args.csv:
+            print(f"[csv written to {write_csv(result, args.csv)}]")
+        violations = result.data["total_violations"]
+        accounted = result.data["all_accounted"]
+        print(f"[chaos sweep: {violations} invariant violations; "
+              f"work conservation "
+              f"{'holds' if accounted else 'BROKEN'}]")
+        return 0 if violations == 0 and accounted else 1
+
     if args.bench_fig17:
         from .bench import bench_path, run_fig17_milestone
         _print_bench(run_fig17_milestone(seed=args.seed))

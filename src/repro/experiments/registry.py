@@ -6,6 +6,7 @@ import time
 from typing import Callable, Dict, List
 
 from . import (
+    chaos,
     fig01_treasure_hunt,
     fig03_network_overheads,
     fig04_centralized_vs_distributed,
@@ -27,6 +28,7 @@ from .parallel import total_events_consumed, total_layer_counts
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "chaos": chaos.run,
     "fig01": fig01_treasure_hunt.run,
     "fig03a": fig03_network_overheads.run_breakdown,
     "fig03b": fig03_network_overheads.run_saturation,

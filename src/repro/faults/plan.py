@@ -1,0 +1,228 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a seed-stamped, time-ordered list of
+:class:`FaultEvent` records. Plans are pure data: building one touches no
+simulation state, so the same plan can be replayed against any scenario
+(and serialized through ``to_dict``/``from_dict`` for harness configs).
+
+Determinism/RNG-stream rule: events fire at the exact times written in
+the plan. Any randomness used to *compose* a plan (e.g. picking which
+server crashes) happens here, at build time, from the plan's own seed —
+never at injection time — so arming a plan perturbs no workload stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FaultEvent", "FaultPlan", "named_plan", "plan_names"]
+
+#: Every fault kind the injector understands, with the layer it targets.
+KINDS = {
+    "device_crash": "edge",        # target: device index (int) or id
+    "battery_brownout": "edge",    # magnitude: battery fraction drained
+    "link_degrade": "network",     # magnitude: capacity factor in (0, 1]
+    "cloud_partition": "network",  # duration_s: unreachable window
+    "server_crash": "cluster",     # target: server id; duration_s: reboot
+    "invoker_crash": "serverless",  # target: server id; duration_s: reboot
+    "couchdb_outage": "serverless",  # duration_s: store stalls
+    "kafka_outage": "serverless",  # duration_s: bus stalls
+    "function_faults": "serverless",  # magnitude: per-execution fault rate
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    time: float
+    kind: str
+    target: Optional[str] = None
+    #: Length of windowed faults (outages, partitions, reboot delay of a
+    #: crash). Zero means permanent (crashes) or instantaneous (brownout).
+    duration_s: float = 0.0
+    #: Kind-specific intensity: capacity factor for ``link_degrade``,
+    #: drained battery fraction for ``battery_brownout``, per-execution
+    #: failure probability for ``function_faults``.
+    magnitude: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; valid: {sorted(KINDS)}")
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration_s < 0:
+            raise ValueError("fault duration must be non-negative")
+        if self.kind == "link_degrade" and not 0 < self.magnitude <= 1:
+            raise ValueError("link_degrade magnitude is a capacity factor "
+                             "in (0, 1]")
+        if self.kind == "battery_brownout" and not 0 < self.magnitude <= 1:
+            raise ValueError("brownout magnitude is a battery fraction "
+                             "in (0, 1]")
+        if self.kind == "function_faults" and not 0 <= self.magnitude < 1:
+            raise ValueError("function fault rate must be in [0, 1)")
+
+    @property
+    def layer(self) -> str:
+        return KINDS[self.kind]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "target": self.target,
+                "duration_s": self.duration_s, "magnitude": self.magnitude}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(time=float(data["time"]), kind=data["kind"],
+                   target=data.get("target"),
+                   duration_s=float(data.get("duration_s", 0.0)),
+                   magnitude=float(data.get("magnitude", 0.0)))
+
+
+@dataclass
+class FaultPlan:
+    """A named, deterministic schedule of fault events."""
+
+    name: str = "adhoc"
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    # -- composition ------------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        return self
+
+    def device_crash(self, time: float, target: str) -> "FaultPlan":
+        return self.add(FaultEvent(time, "device_crash", target=target))
+
+    def battery_brownout(self, time: float, target: str,
+                         fraction: float) -> "FaultPlan":
+        return self.add(FaultEvent(time, "battery_brownout", target=target,
+                                   magnitude=fraction))
+
+    def link_degrade(self, time: float, duration_s: float,
+                     factor: float) -> "FaultPlan":
+        return self.add(FaultEvent(time, "link_degrade",
+                                   duration_s=duration_s, magnitude=factor))
+
+    def cloud_partition(self, time: float,
+                        duration_s: float) -> "FaultPlan":
+        return self.add(FaultEvent(time, "cloud_partition",
+                                   duration_s=duration_s))
+
+    def server_crash(self, time: float, target: str,
+                     reboot_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultEvent(time, "server_crash", target=target,
+                                   duration_s=reboot_s))
+
+    def invoker_crash(self, time: float, target: str,
+                      reboot_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultEvent(time, "invoker_crash", target=target,
+                                   duration_s=reboot_s))
+
+    def couchdb_outage(self, time: float,
+                       duration_s: float) -> "FaultPlan":
+        return self.add(FaultEvent(time, "couchdb_outage",
+                                   duration_s=duration_s))
+
+    def kafka_outage(self, time: float, duration_s: float) -> "FaultPlan":
+        return self.add(FaultEvent(time, "kafka_outage",
+                                   duration_s=duration_s))
+
+    def function_faults(self, time: float, rate: float) -> "FaultPlan":
+        return self.add(FaultEvent(time, "function_faults",
+                                   magnitude=rate))
+
+    # -- views ------------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return bool(self.events)
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in firing order (time, then insertion order)."""
+        return [event for _, event in
+                sorted(enumerate(self.events),
+                       key=lambda pair: (pair[1].time, pair[0]))]
+
+    def horizon(self) -> float:
+        """Last instant the plan touches (event end times included)."""
+        if not self.events:
+            return 0.0
+        return max(e.time + e.duration_s for e in self.events)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.kind for e in self.events}))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(name=data.get("name", "adhoc"),
+                   seed=int(data.get("seed", 0)),
+                   events=[FaultEvent.from_dict(e)
+                           for e in data.get("events", ())])
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# -- named plans ----------------------------------------------------------
+def _mixed(duration_s: float) -> FaultPlan:
+    """The acceptance plan: 20% function faults + one server crash + one
+    cloud-partition window (ISSUE 4)."""
+    plan = FaultPlan(name="mixed")
+    plan.function_faults(0.0, 0.20)
+    plan.server_crash(0.30 * duration_s, "server0")
+    plan.cloud_partition(0.55 * duration_s, 0.10 * duration_s)
+    return plan
+
+
+def _partition(duration_s: float) -> FaultPlan:
+    plan = FaultPlan(name="partition")
+    plan.cloud_partition(0.40 * duration_s, 0.20 * duration_s)
+    return plan
+
+
+def _cluster_storm(duration_s: float) -> FaultPlan:
+    """Cloud-side pile-up: invoker crash with reboot, CouchDB and Kafka
+    outage windows, and a degraded wireless link."""
+    plan = FaultPlan(name="cluster_storm")
+    plan.invoker_crash(0.25 * duration_s, "server1",
+                       reboot_s=0.10 * duration_s)
+    plan.couchdb_outage(0.40 * duration_s, 0.05 * duration_s)
+    plan.kafka_outage(0.50 * duration_s, 0.05 * duration_s)
+    plan.link_degrade(0.60 * duration_s, 0.20 * duration_s, 0.5)
+    return plan
+
+
+def _edge_attrition(duration_s: float) -> FaultPlan:
+    """Edge-side decay: a crash plus a brownout on two distinct devices."""
+    plan = FaultPlan(name="edge_attrition")
+    plan.device_crash(0.30 * duration_s, "0")
+    plan.battery_brownout(0.50 * duration_s, "1", 0.95)
+    return plan
+
+
+_NAMED = {
+    "mixed": _mixed,
+    "partition": _partition,
+    "cluster_storm": _cluster_storm,
+    "edge_attrition": _edge_attrition,
+}
+
+
+def plan_names() -> List[str]:
+    return sorted(_NAMED)
+
+
+def named_plan(name: str, duration_s: float) -> FaultPlan:
+    """Build one of the canonical plans, scaled to ``duration_s``."""
+    builder = _NAMED.get(name)
+    if builder is None:
+        raise KeyError(f"unknown fault plan {name!r}; valid: {plan_names()}")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return builder(duration_s)

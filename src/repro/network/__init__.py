@@ -1,19 +1,24 @@
 """Network substrate: links, wireless access, cluster fabric, RPC transports."""
 
 from .link import Link
-from .rpc import EdgeCloudRpc, RpcResult, SoftwareClusterRpc
+from .rpc import (EdgeCloudRpc, ReliableEdgeRpc, RetryPolicy,
+                  RpcResult, RpcTimeout, SoftwareClusterRpc)
 from .switch import ClusterNetwork, ToRSwitch
 from .topology import Fabric, build_fabric
-from .wireless import AccessPoint, WirelessNetwork
+from .wireless import AccessPoint, NetworkPartitioned, WirelessNetwork
 
 __all__ = [
     "Link",
     "AccessPoint",
     "WirelessNetwork",
+    "NetworkPartitioned",
     "ToRSwitch",
     "ClusterNetwork",
     "RpcResult",
     "EdgeCloudRpc",
+    "ReliableEdgeRpc",
+    "RetryPolicy",
+    "RpcTimeout",
     "SoftwareClusterRpc",
     "Fabric",
     "build_fabric",

@@ -64,6 +64,9 @@ class Link:
         self.env = env
         self.name = name
         self.bandwidth_mbs = bandwidth_mbs
+        #: Rated capacity; ``scale_capacity`` (chaos link degradation)
+        #: derates ``bandwidth_mbs`` relative to this.
+        self._nominal_mbs = bandwidth_mbs
         self.latency_s = latency_s
         self.loss_rate = loss_rate
         self.meter = meter
@@ -92,6 +95,17 @@ class Link:
             self._release = (0.0, 0)
         else:
             self._channel = Resource(env, capacity=1)
+
+    def scale_capacity(self, factor: float) -> None:
+        """Derate (or restore) the link to ``factor`` × nominal bandwidth.
+
+        Chaos link-degradation hook. Applies to transfers *granted* from
+        now on; payloads already on the wire keep their committed
+        serialization schedule (their service time was computed at grant).
+        """
+        if factor <= 0:
+            raise ValueError("capacity factor must be positive")
+        self.bandwidth_mbs = self._nominal_mbs * factor
 
     def serialization_time(self, megabytes: float) -> float:
         """Time on the wire for ``megabytes``, including expected loss."""

@@ -22,9 +22,10 @@ from typing import Generator, Optional
 from ..config import ClusterConstants
 from ..sim import Environment
 from .switch import ClusterNetwork
-from .wireless import WirelessNetwork
+from .wireless import NetworkPartitioned, WirelessNetwork
 
-__all__ = ["RpcResult", "EdgeCloudRpc", "SoftwareClusterRpc"]
+__all__ = ["RpcResult", "RpcTimeout", "RetryPolicy", "EdgeCloudRpc",
+           "ReliableEdgeRpc", "SoftwareClusterRpc"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,42 @@ class RpcResult:
     processing_s: float
     request_mb: float
     response_mb: float
+
+
+class RpcTimeout(Exception):
+    """An RPC exhausted its retry attempts / total timeout budget."""
+
+    def __init__(self, device_id: str, attempts: int, waited_s: float):
+        super().__init__(
+            f"{device_id}: RPC gave up after {attempts} attempts "
+            f"({waited_s:.3f}s)")
+        self.device_id = device_id
+        self.attempts = attempts
+        self.waited_s = waited_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff parameters for :class:`ReliableEdgeRpc`.
+
+    Each failed attempt costs up to ``attempt_timeout_s`` of discovery
+    (the client waits that long before concluding the cloud is gone)
+    plus an exponential backoff before the next try; the whole call never
+    exceeds ``total_budget_s`` of wall time spent on failures.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    attempt_timeout_s: float = 1.0
+    total_budget_s: float = 10.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if min(self.base_backoff_s, self.attempt_timeout_s,
+               self.total_budget_s) < 0 or self.backoff_factor < 1:
+            raise ValueError("invalid retry policy parameters")
 
 
 class EdgeCloudRpc:
@@ -86,6 +123,70 @@ class EdgeCloudRpc:
         return RpcResult(
             total_s=processing + wire_s, wire_s=wire_s,
             processing_s=processing, request_mb=megabytes, response_mb=0.0)
+
+
+class ReliableEdgeRpc:
+    """Retry wrapper for an edge<->cloud transport (chaos recovery layer).
+
+    Wraps any object with ``call``/``push`` coroutines (stock
+    :class:`EdgeCloudRpc` or the accelerated variant). When a transfer
+    hits a cloud-partition window (:class:`NetworkPartitioned`), the
+    caller pays the per-attempt discovery timeout plus exponential
+    backoff, then retries; when the policy's attempt or budget ceiling is
+    exhausted it raises :class:`RpcTimeout` so the runtime can shed the
+    task to on-device compute. Used only by chaos runs — fault-free runs
+    keep the bare transport, so their event streams are untouched.
+    """
+
+    def __init__(self, env: Environment, inner,
+                 policy: Optional[RetryPolicy] = None,
+                 recovery_log=None):
+        self.env = env
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.recovery_log = recovery_log
+        self.retries = 0
+
+    def call(self, device_id: str, request_mb: float,
+             response_mb: float) -> Generator:
+        result = yield from self._reliable(
+            device_id,
+            lambda: self.inner.call(device_id, request_mb, response_mb))
+        return result
+
+    def push(self, device_id: str, megabytes: float) -> Generator:
+        result = yield from self._reliable(
+            device_id, lambda: self.inner.push(device_id, megabytes))
+        return result
+
+    def _reliable(self, device_id: str, attempt) -> Generator:
+        policy = self.policy
+        start = self.env.now
+        deadline = start + policy.total_budget_s
+        backoff = policy.base_backoff_s
+        attempts = 0
+        action = None
+        while True:
+            attempts += 1
+            try:
+                result = yield from attempt()
+            except NetworkPartitioned:
+                remaining = deadline - self.env.now
+                if attempts >= policy.max_attempts or remaining <= 0:
+                    raise RpcTimeout(device_id, attempts,
+                                     self.env.now - start)
+                if action is None and self.recovery_log is not None:
+                    action = self.recovery_log.record("rpc_retry", device_id)
+                self.retries += 1
+                # Discovery timeout for the dead attempt + backoff before
+                # the next, clipped to the remaining budget.
+                yield self.env.timeout(
+                    min(policy.attempt_timeout_s + backoff, remaining))
+                backoff *= policy.backoff_factor
+                continue
+            if action is not None:
+                self.recovery_log.complete(action)
+            return result
 
 
 class SoftwareClusterRpc:

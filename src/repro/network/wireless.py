@@ -20,7 +20,21 @@ from ..sim import Environment
 from ..telemetry import BandwidthMeter
 from .link import Link
 
-__all__ = ["AccessPoint", "WirelessNetwork"]
+__all__ = ["AccessPoint", "NetworkPartitioned", "WirelessNetwork"]
+
+
+class NetworkPartitioned(Exception):
+    """The edge<->cloud path is down (chaos cloud-partition window).
+
+    Raised synchronously at transfer start — the radio's carrier sense /
+    association logic knows immediately that the AP is gone; the
+    *latency* cost of discovering an unreachable cloud is charged by the
+    RPC retry layer's per-attempt timeout budget, not here.
+    """
+
+    def __init__(self, device_id: str):
+        super().__init__(device_id)
+        self.device_id = device_id
 
 
 class AccessPoint:
@@ -68,6 +82,39 @@ class WirelessNetwork:
         ]
         self._assignment: Dict[str, AccessPoint] = {}
         self._next_ap = 0
+        #: Chaos cloud-partition state: while True, new transfers raise
+        #: :class:`NetworkPartitioned`. Never set outside chaos runs.
+        self.partitioned = False
+        self._heal_listeners: List = []
+
+    # -- chaos hooks -----------------------------------------------------
+    def set_partitioned(self, partitioned: bool) -> None:
+        """Enter/leave a cloud-partition window (fault injection)."""
+        was = self.partitioned
+        self.partitioned = partitioned
+        if was and not partitioned:
+            for listener in self._heal_listeners:
+                listener()
+
+    def add_heal_listener(self, callback) -> None:
+        """Zero-arg callback fired when a partition window closes."""
+        self._heal_listeners.append(callback)
+
+    def degrade(self, factor: float) -> None:
+        """Scale every link's capacity by ``factor`` (chaos injection).
+
+        Applies to transfers *granted* from now on; payloads already on
+        the wire keep their committed serialization schedule.
+        """
+        for ap in self.access_points:
+            ap.uplink.scale_capacity(factor)
+            ap.downlink.scale_capacity(factor)
+
+    def restore_capacity(self) -> None:
+        """Undo :meth:`degrade`: links return to nominal bandwidth."""
+        for ap in self.access_points:
+            ap.uplink.scale_capacity(1.0)
+            ap.downlink.scale_capacity(1.0)
 
     def attach(self, device_id: str) -> AccessPoint:
         """Associate a device with an access point (round-robin balance)."""
@@ -87,6 +134,8 @@ class WirelessNetwork:
     def upload(self, device_id: str, megabytes: float,
                extra_delay_s: float = 0.0) -> Generator:
         """Process: send ``megabytes`` from device to the cloud edge."""
+        if self.partitioned:
+            raise NetworkPartitioned(device_id)
         ap = self.attach(device_id)
         took = yield from ap.uplink.transfer(megabytes,
                                              extra_delay_s=extra_delay_s)
@@ -95,6 +144,8 @@ class WirelessNetwork:
     def download(self, device_id: str, megabytes: float,
                  extra_delay_s: float = 0.0) -> Generator:
         """Process: send ``megabytes`` from the cloud edge to the device."""
+        if self.partitioned:
+            raise NetworkPartitioned(device_id)
         ap = self.attach(device_id)
         took = yield from ap.downlink.transfer(megabytes,
                                                extra_delay_s=extra_delay_s)

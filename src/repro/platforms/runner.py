@@ -25,8 +25,10 @@ from ..config import DEFAULT, PaperConstants
 from ..core import StragglerMitigator
 from ..dsl import HiveMindCompiler
 from ..edge import Drone
+from ..faults import FaultInjector, FaultPlan, InvariantChecker, RecoveryLog
 from ..hardware import AcceleratedEdgeRpc, RemoteMemoryFabric
-from ..network import EdgeCloudRpc, build_fabric
+from ..network import (EdgeCloudRpc, NetworkPartitioned, ReliableEdgeRpc,
+                       RpcTimeout, build_fabric)
 from ..serverless import InvocationRequest, OpenWhiskPlatform
 from ..sim import Environment, RandomStreams
 from ..telemetry import BreakdownAggregate, LatencyBreakdown, MetricSeries
@@ -71,7 +73,8 @@ class SingleTierRunner:
                  iaas_headroom: float = 1.25,
                  bursty: bool = True,
                  rate_override: Optional[float] = None,
-                 analytic_net: Optional[bool] = None):
+                 analytic_net: Optional[bool] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.config = config
         self.app = app
         self.constants = constants
@@ -108,6 +111,11 @@ class SingleTierRunner:
         #: Analytic virtual-clock queueing (None = REPRO_ANALYTIC_NET env,
         #: default on); False restores the legacy network/serverless path.
         self.analytic_net = analytic_net
+        #: Chaos mode: a :class:`~repro.faults.FaultPlan` to inject during
+        #: the run. ``None`` (or an empty plan) keeps every chaos hook
+        #: unarmed — the run is then byte-identical to one without this
+        #: parameter.
+        self.fault_plan = fault_plan
 
     # -- derived workload parameters ------------------------------------------
     @property
@@ -160,6 +168,16 @@ class SingleTierRunner:
         breakdowns = BreakdownAggregate()
         rng = streams.stream("runner.workload")
 
+        # Chaos machinery (armed plans only; fault-free runs construct
+        # nothing and take the exact pre-chaos code paths).
+        chaos = self.fault_plan is not None and self.fault_plan.armed
+        checker: Optional[InvariantChecker] = None
+        recovery_log: Optional[RecoveryLog] = None
+        if chaos:
+            checker = InvariantChecker(env)
+            checker.attach_kernel()
+            recovery_log = RecoveryLog(env)
+
         # Cloud side.
         cluster = None
         platform = None
@@ -186,7 +204,12 @@ class SingleTierRunner:
                 analytic=self.analytic_net)
             if self.config.straggler_mitigation:
                 mitigator = StragglerMitigator(
-                    env, platform, self.constants.control)
+                    env, platform, self.constants.control,
+                    harden_races=chaos)
+            if chaos:
+                platform.recovery_log = recovery_log
+                platform.add_completion_listener(
+                    checker.invocation_finished)
         elif execution == "cloud_iaas":
             demand = self.n_devices * rate * self.app.cloud_service_s
             pool = FixedPool(
@@ -199,6 +222,11 @@ class SingleTierRunner:
                                           self.constants.accel)
         else:
             edge_rpc = EdgeCloudRpc(env, fabric.wireless)
+        if chaos:
+            # Retries + backoff across partition windows; exhausted budgets
+            # surface as RpcTimeout so tasks can shed to on-device compute.
+            edge_rpc = ReliableEdgeRpc(env, edge_rpc,
+                                       recovery_log=recovery_log)
 
         # Hybrid placement: ask the actual compiler where `process` goes.
         process_tier = "cloud"
@@ -222,6 +250,60 @@ class SingleTierRunner:
         skipped = {"count": 0}
         function_spec = self.app.function_spec()
 
+        # Heal gate (chaos only): processes stranded by a cloud partition
+        # park on an event that the wireless fabric's heal listener fires.
+        heal_waiters: list = []
+        if chaos:
+            def _on_heal() -> None:
+                waiting, heal_waiters[:] = heal_waiters[:], []
+                for gate in waiting:
+                    gate.succeed()
+            fabric.wireless.add_heal_listener(_on_heal)
+
+        def wait_for_heal() -> Generator:
+            if not fabric.wireless.partitioned:
+                return
+            gate = env.event()
+            heal_waiters.append(gate)
+            yield gate
+
+        def download_response(device: Drone) -> Generator:
+            if not chaos:
+                down_s = yield from fabric.wireless.download(
+                    device.device_id, self.app.output_mb)
+                return down_s
+            while True:
+                try:
+                    down_s = yield from fabric.wireless.download(
+                        device.device_id, self.app.output_mb)
+                    return down_s
+                except NetworkPartitioned:
+                    # The response waits cloud-side; re-fetch after heal.
+                    yield from wait_for_heal()
+
+        def shed_to_edge(device: Drone, intrinsic: float,
+                         breakdown: LatencyBreakdown,
+                         start: float) -> Generator:
+            """Cloud unreachable past the retry budget: fall back to
+            on-device compute, then ship the (small) result once the
+            partition heals so downstream consumers still get it."""
+            action = recovery_log.record("shed", device.device_id)
+            service = yield from device.execute(
+                intrinsic, slowdown=self.app.edge_slowdown)
+            breakdown.charge("execution", service)
+            while True:
+                try:
+                    push = yield from edge_rpc.push(device.device_id,
+                                                    self.app.output_mb)
+                    break
+                except RpcTimeout:
+                    yield from wait_for_heal()
+            device.account_tx(TX_DUTY * push.total_s)
+            breakdown.charge("network", push.total_s)
+            recovery_log.complete(action)
+            latencies.add(env.now - start, time=start)
+            breakdowns.add(breakdown)
+
         def invoke_cloud(request: InvocationRequest) -> Generator:
             if mitigator is not None:
                 result = yield from mitigator.invoke(request)
@@ -241,7 +323,12 @@ class SingleTierRunner:
                 breakdown.charge("execution", filter_s)
                 upload_mb = min(upload_mb * self.app.edge_filter_keep,
                                 FILTER_CEILING_MB)
-            push = yield from edge_rpc.push(device.device_id, upload_mb)
+            try:
+                push = yield from edge_rpc.push(device.device_id, upload_mb)
+            except RpcTimeout:
+                # Chaos only: the bare transport never raises this.
+                yield from shed_to_edge(device, intrinsic, breakdown, start)
+                return
             # CSMA contention keeps the radio active for most of the
             # transfer's wall time, not just its serialization slice.
             device.account_tx(TX_DUTY * push.total_s)
@@ -275,8 +362,7 @@ class SingleTierRunner:
                 breakdown.charge("management", wait_s)
                 breakdown.charge("execution", service_s)
             if self.app.response_to_device:
-                down_s = yield from fabric.wireless.download(
-                    device.device_id, self.app.output_mb)
+                down_s = yield from download_response(device)
                 device.account_rx(TX_DUTY * down_s)
                 breakdown.charge("network", down_s)
             latencies.add(env.now - start, time=start)
@@ -288,19 +374,42 @@ class SingleTierRunner:
             service = yield from device.execute(
                 intrinsic, slowdown=self.app.edge_slowdown)
             breakdown.charge("execution", service)
-            push = yield from edge_rpc.push(device.device_id,
-                                            self.app.output_mb)
+            while True:
+                try:
+                    push = yield from edge_rpc.push(device.device_id,
+                                                    self.app.output_mb)
+                    break
+                except RpcTimeout:
+                    # Chaos only: result is already computed on-board;
+                    # hold it until the partition heals.
+                    yield from wait_for_heal()
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             latencies.add(env.now - start, time=start)
             breakdowns.add(breakdown)
 
+        task_seq = {"n": 0}
+
         def handle(device: Drone, intrinsic: float) -> Generator:
+            task_id = None
+            if checker is not None:
+                task_seq["n"] += 1
+                task_id = task_seq["n"]
+                checker.task_submitted(task_id)
+                checker.observe_clock(device.device_id, env.now)
             try:
                 if process_tier == "edge":
                     yield from edge_task(device, intrinsic)
                 else:
                     yield from cloud_task(device, intrinsic)
+                if checker is not None:
+                    checker.task_completed(task_id)
+            except RpcTimeout:
+                if checker is None:
+                    raise
+                # A shed/retry path still gave up (partition outlasted
+                # every fallback): account the loss explicitly.
+                checker.task_lost(task_id, "network_partition")
             finally:
                 outstanding[device.device_id] -= 1
 
@@ -324,6 +433,8 @@ class SingleTierRunner:
                 if next_t >= self.duration_s:
                     break
                 yield env.timeout(next_t - env.now)
+                if chaos and not device.alive:
+                    break  # crashed devices stop emitting sensor batches
                 if self.load_profile is not None:
                     active_fraction = self.load_profile(env.now)
                     if index >= active_fraction * self.n_devices:
@@ -338,6 +449,16 @@ class SingleTierRunner:
                     outstanding[device.device_id] += 1
                     intrinsic = self.app.sample_cloud_service(rng)
                     env.process(handle(device, intrinsic))
+
+        injector = None
+        if chaos:
+            injector = FaultInjector(
+                env, self.fault_plan,
+                wireless=fabric.wireless, platform=platform,
+                cluster=cluster,
+                devices={d.device_id: d for d in devices},
+                recovery_log=recovery_log)
+            injector.start()
 
         for index, device in enumerate(devices):
             env.process(generator(index, device))
@@ -366,6 +487,19 @@ class SingleTierRunner:
             extras["pool_utilization"] = pool.utilization(end)
         if mitigator is not None:
             extras["stragglers"] = mitigator.stragglers_detected
+        if checker is not None:
+            checker.finalize([d.energy for d in devices])
+            extras["chaos"] = {
+                "invariants": checker.summary(),
+                "recoveries": recovery_log.counts_by_kind(),
+                "recovery_latencies_s": recovery_log.latencies(),
+                "injected": list(injector.applied),
+                "rpc_retries": edge_rpc.retries,
+                "requeues": platform.requeues if platform else 0,
+                "cancellations": platform.cancellations if platform else 0,
+                "makespan_s": end,
+            }
+            extras["violations"] = len(checker.violations)
         return RunResult(
             platform=self.config.name,
             workload=self.app.key,

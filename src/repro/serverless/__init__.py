@@ -10,7 +10,7 @@ from .datasharing import (
     SharingProtocol,
 )
 from .function import FunctionSpec, Invocation, InvocationRequest
-from .invoker import Invoker
+from .invoker import ActivationCancelled, Invoker
 from .kafka import KafkaBus
 from .openwhisk import OpenWhiskPlatform
 from .scheduler import HiveMindScheduler, OpenWhiskScheduler, Placement
@@ -23,6 +23,7 @@ __all__ = [
     "ContainerState",
     "CouchDB",
     "KafkaBus",
+    "ActivationCancelled",
     "Invoker",
     "OpenWhiskScheduler",
     "HiveMindScheduler",

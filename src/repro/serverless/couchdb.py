@@ -58,6 +58,18 @@ class CouchDB:
             self._service = Resource(env, capacity=concurrency)
         self.operations = 0
         self._documents = {}
+        #: Chaos outage window: no operation starts service before this
+        #: instant. 0.0 (the past) in fault-free runs, where the guard in
+        #: :meth:`_serve` never fires.
+        self._outage_until = 0.0
+
+    def set_outage(self, until: float) -> None:
+        """Refuse service until ``until`` (chaos CouchDB outage window).
+
+        Queued operations are not lost — they stall and drain when the
+        store comes back, which is how the real CouchDB behaves across a
+        compaction stall or restart."""
+        self._outage_until = max(self._outage_until, until)
 
     def _op_latency(self, megabytes: float) -> float:
         base = (self.constants.couchdb_latency_s +
@@ -75,6 +87,8 @@ class CouchDB:
             tally("serverless", 1)
             free_at = heapq.heappop(self._free)
             grant_at = free_at if free_at > self.env.now else self.env.now
+            if grant_at < self._outage_until:  # chaos outage window
+                grant_at = self._outage_until
             end = grant_at + duration
             heapq.heappush(self._free, end)
             yield self.env.timeout_at(end)
@@ -82,6 +96,9 @@ class CouchDB:
             tally("serverless", 2)
             with self._service.request() as grant:
                 yield grant
+                if self.env.now < self._outage_until:  # chaos outage window
+                    tally("serverless", 1)
+                    yield self.env.timeout_at(self._outage_until)
                 yield self.env.timeout(duration)
         self.operations += 1
 

@@ -60,6 +60,11 @@ class InvocationRequest:
     #: Dedicated container (the DSL's Isolate directive): never reuse a
     #: warm container, never share this one afterwards.
     isolate: bool = False
+    #: Back-pointer to this request's live invocation record, filled in by
+    #: the platform at invoke time. Lets wrappers (straggler mitigation,
+    #: chaos recovery) attribute the request to the server it actually ran
+    #: on instead of guessing from global history.
+    inflight: Optional["Invocation"] = None
 
     def __post_init__(self):
         if self.service_s < 0:
@@ -83,6 +88,9 @@ class Invocation:
     cold_start: bool = False
     colocated: bool = False
     failures: int = 0
+    #: Times this activation was re-enqueued after its invoker/server
+    #: crashed mid-flight (chaos recovery; always 0 in fault-free runs).
+    requeues: int = 0
     #: Container instantiation seconds (the Fig 6b "instantiation" slice;
     #: also charged to the breakdown's management component).
     instantiation_s: float = 0.0

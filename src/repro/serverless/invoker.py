@@ -15,13 +15,23 @@ import numpy as np
 
 from ..cluster import Server
 from ..config import ServerlessConstants
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 from ..sim.accounting import tally
 from ..sim.flags import analytic_net_enabled
 from .container import FunctionContainer
 from .function import Invocation, InvocationRequest
 
-__all__ = ["ActivationMessage", "Invoker"]
+__all__ = ["ActivationCancelled", "ActivationMessage", "Invoker"]
+
+
+class ActivationCancelled(Exception):
+    """The platform reaped this activation (e.g. a losing straggler
+    replica); its ``done`` event fails with this so the waiting caller
+    can distinguish a deliberate cancel from a genuine crash."""
+
+    def __init__(self, invocation_id: int):
+        super().__init__(f"invocation {invocation_id} cancelled")
+        self.invocation_id = invocation_id
 
 
 class ActivationMessage:
@@ -38,6 +48,9 @@ class ActivationMessage:
         self.invocation = invocation
         self.prefer_container = prefer_container
         self.done = done
+        #: Set by :meth:`Invoker.cancel` if the cancel lands before the
+        #: handler process has started.
+        self.cancelled = False
 
 
 class Invoker:
@@ -73,9 +86,68 @@ class Invoker:
         #: failing disks, noisy neighbours outside our control): the
         #: straggler source the p90 mitigation targets (section 4.6).
         self.slow_factor = 1.0
+        #: Cleared by :meth:`crash` (chaos invoker/server-crash injection).
+        self.alive = True
+        #: In-flight activations: invocation_id -> (message, handler
+        #: process). Registered at handler spawn, removed at handler exit;
+        #: :meth:`crash` interrupts them all, :meth:`cancel` one.
+        self._active: Dict[int, tuple] = {}
         self.cold_starts = 0
         self.warm_starts = 0
         self.respawns = 0
+
+    # -- chaos hooks -----------------------------------------------------------
+    def crash(self) -> list:
+        """Kill the invoker daemon: containers die, activations abort.
+
+        Every in-flight handler is interrupted (cause ``"crash"``) —
+        cleanup releases its cores and frees its container memory — and
+        the warm pool is torn down. Returns the orphaned activation
+        messages so the platform can re-enqueue them; their ``done``
+        events stay pending until the requeued execution completes.
+        """
+        self.alive = False
+        orphans = []
+        for _, (message, process) in sorted(self._active.items()):
+            if process.is_alive:
+                try:
+                    process.interrupt("crash")
+                except RuntimeError:
+                    # Handler spawned but not yet started: the liveness
+                    # guard in _handle makes it a no-op instead.
+                    pass
+            orphans.append(message)
+        self._active.clear()
+        for pool in self._warm.values():
+            for container in pool:
+                container.mark_terminated()
+                self.server.free_memory(container.memory_mb)
+        self._warm.clear()
+        return orphans
+
+    def restore(self) -> None:
+        """Reboot complete: start taking activations again."""
+        self.alive = True
+
+    def cancel(self, invocation_id: int) -> bool:
+        """Reap one in-flight activation (straggler-loser cleanup).
+
+        The handler is interrupted with cause ``"cancel"``; it releases
+        its resources and fails its ``done`` event with
+        :class:`ActivationCancelled`. Returns False when the activation
+        is not executing here (already finished, or still upstream).
+        """
+        entry = self._active.get(invocation_id)
+        if entry is None:
+            return False
+        message, process = entry
+        message.cancelled = True
+        if process.is_alive:
+            try:
+                process.interrupt("cancel")
+            except RuntimeError:
+                pass  # not yet started; _handle sees `cancelled` and aborts
+        return True
 
     # -- warm pool ----------------------------------------------------------
     def _reap_expired(self) -> None:
@@ -217,21 +289,30 @@ class Invoker:
                            prefer: Optional[FunctionContainer]) -> Generator:
         container = (None if request.isolate
                      else self.take_warm(request, prefer=prefer))
-        if container is not None:
-            start_cost = self.constants.warm_start_s
-            self.warm_starts += 1
-        else:
-            # Cold path: reserve memory (evicting stale warm containers if
-            # needed), then pay the Docker instantiation cost.
-            yield from self._reserve_container_memory(request.spec.memory_mb)
-            container = FunctionContainer(
-                self.server.server_id, request.spec.image,
-                request.spec.memory_mb)
-            start_cost = self._cold_start_time()
-            self.cold_starts += 1
-            invocation.cold_start = True
-        tally("serverless", 1)
-        yield self.env.timeout(start_cost)
+        try:
+            if container is not None:
+                start_cost = self.constants.warm_start_s
+                self.warm_starts += 1
+            else:
+                # Cold path: reserve memory (evicting stale warm containers
+                # if needed), then pay the Docker instantiation cost.
+                yield from self._reserve_container_memory(
+                    request.spec.memory_mb)
+                container = FunctionContainer(
+                    self.server.server_id, request.spec.image,
+                    request.spec.memory_mb)
+                start_cost = self._cold_start_time()
+                self.cold_starts += 1
+                invocation.cold_start = True
+            tally("serverless", 1)
+            yield self.env.timeout(start_cost)
+        except Interrupt:
+            # Killed mid-start (invoker crash / cancel): the half-built
+            # container dies with us; its memory goes back to the server.
+            if container is not None:
+                container.mark_terminated()
+                self.server.free_memory(container.memory_mb)
+            raise
         invocation.instantiation_s += start_cost
         invocation.breakdown.charge("management", start_cost)
         container.mark_running()
@@ -243,6 +324,8 @@ class Invoker:
 
         Fills in the invocation's container/server fields, instantiation
         and execution charges, and handles fault-respawn loops.
+        Interrupt-safe: a crash/cancel mid-execution releases the pinned
+        cores and frees the container's memory before propagating.
         """
         container = yield from self._acquire_container(
             request, invocation, prefer_container)
@@ -251,27 +334,37 @@ class Invoker:
         invocation.colocated = (
             prefer_container is not None and container is prefer_container)
 
-        while True:
-            tally("serverless", 2)  # core grant + compute timeout
-            grant = yield from self.server.acquire_cores(1)
-            invocation.t_exec_start = (
-                invocation.t_exec_start or self.env.now)
-            service = request.service_s * self._interference_factor()
-            faulty = (self.fault_rate > 0 and
-                      float(self.rng.random()) < self.fault_rate)
-            if faulty:
-                # Fail partway through, release the core, respawn.
-                failed_after = service * float(self.rng.uniform(0.1, 0.9))
-                yield from self.server.compute(grant, failed_after)
+        grant = None
+        try:
+            while True:
+                tally("serverless", 2)  # core grant + compute timeout
+                grant = yield from self.server.acquire_cores(1)
+                invocation.t_exec_start = (
+                    invocation.t_exec_start or self.env.now)
+                service = request.service_s * self._interference_factor()
+                faulty = (self.fault_rate > 0 and
+                          float(self.rng.random()) < self.fault_rate)
+                if faulty:
+                    # Fail partway through, release the core, respawn.
+                    failed_after = service * float(self.rng.uniform(0.1, 0.9))
+                    yield from self.server.compute(grant, failed_after)
+                    grant.release()
+                    grant = None
+                    invocation.failures += 1
+                    invocation.breakdown.charge("execution", failed_after)
+                    self.respawns += 1
+                    continue
+                yield from self.server.compute(grant, service)
                 grant.release()
-                invocation.failures += 1
-                invocation.breakdown.charge("execution", failed_after)
-                self.respawns += 1
-                continue
-            yield from self.server.compute(grant, service)
-            grant.release()
-            invocation.breakdown.charge("execution", service)
-            break
+                grant = None
+                invocation.breakdown.charge("execution", service)
+                break
+        except Interrupt:
+            if grant is not None:
+                grant.release()
+            container.mark_terminated()
+            self.server.free_memory(container.memory_mb)
+            raise
 
         container.executions += 1
         container.last_invocation_id = invocation.invocation_id
@@ -305,19 +398,37 @@ class Invoker:
 
     def _spawn_handler(self, message: ActivationMessage) -> None:
         tally("serverless", 1)  # the handler process start
-        self.env.process(self._handle(message))
+        process = self.env.process(self._handle(message))
+        self._active[message.invocation.invocation_id] = (message, process)
 
     def _consume(self, bus, topic: str) -> Generator:
         while True:
             message = yield from bus.consume(topic)
             tally("serverless", 1)  # the handler process start
-            self.env.process(self._handle(message))
+            process = self.env.process(self._handle(message))
+            self._active[message.invocation.invocation_id] = (
+                message, process)
 
     def _handle(self, message: ActivationMessage) -> Generator:
+        iid = message.invocation.invocation_id
         try:
+            if message.cancelled:
+                message.done.fail(ActivationCancelled(iid))
+                return
+            if not self.alive:
+                # Crashed between Kafka delivery and handler start; crash()
+                # already handed the message back for requeueing.
+                return
             yield from self.run(
                 message.request, message.invocation,
                 prefer_container=message.prefer_container)
             message.done.succeed(message.invocation)
+        except Interrupt as interrupt:
+            if interrupt.cause == "cancel":
+                message.done.fail(ActivationCancelled(iid))
+            # "crash": leave `done` pending — the platform requeues the
+            # activation and the replacement execution will succeed it.
         except BaseException as error:  # surface crashes to the caller
             message.done.fail(error)
+        finally:
+            self._active.pop(iid, None)

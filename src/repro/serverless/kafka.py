@@ -37,6 +37,14 @@ class KafkaBus:
         self._topics: Dict[str, Store] = {}
         self._subscribers: Dict[str, Callable[[Any], None]] = {}
         self.published = 0
+        #: Chaos outage window: publishes stall until this instant (the
+        #: broker is unreachable; producers buffer and retry). 0.0 in
+        #: fault-free runs, where the guard in :meth:`publish` never fires.
+        self._outage_until = 0.0
+
+    def set_outage(self, until: float) -> None:
+        """Stall publishes until ``until`` (chaos Kafka outage window)."""
+        self._outage_until = max(self._outage_until, until)
 
     def topic(self, name: str) -> Store:
         found = self._topics.get(name)
@@ -58,6 +66,9 @@ class KafkaBus:
 
     def publish(self, topic: str, message: Any) -> Generator:
         """Process: publish after the bus hop latency."""
+        if self.env.now < self._outage_until:  # chaos outage window
+            tally("serverless", 1)
+            yield self.env.timeout_at(self._outage_until)
         yield self.env.timeout(self.constants.kafka_hop_s)
         callback = self._subscribers.get(topic)
         if callback is not None:

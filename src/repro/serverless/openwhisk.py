@@ -126,10 +126,96 @@ class OpenWhiskPlatform:
         self.active_tasks = 0
         #: (time, active_count) samples, appended on every change (Fig 5c).
         self.active_samples: List[Tuple[float, int]] = [(0.0, 0)]
+        self._invoker_by_server = {
+            invoker.server.server_id: invoker for invoker in self.invokers}
+        #: Chaos wiring (all empty/None in fault-free runs, where they add
+        #: no events): completion observers, the resilience recovery log,
+        #: and requeue actions awaiting their activation's completion.
+        self._completion_listeners: List = []
+        self.recovery_log = None
+        self._pending_recovery = {}
+        self.requeues = 0
+        self.cancellations = 0
 
     @staticmethod
     def _topic_of(invoker: Invoker) -> str:
         return f"invoker-{invoker.server.server_id}"
+
+    # -- chaos: crash, recover, cancel ----------------------------------------
+    def invoker_of(self, server_id: str) -> Invoker:
+        found = self._invoker_by_server.get(server_id)
+        if found is None:
+            raise KeyError(f"no invoker on server {server_id!r}")
+        return found
+
+    def add_completion_listener(self, listener) -> None:
+        """``listener(invocation)`` fires on every finished activation."""
+        self._completion_listeners.append(listener)
+
+    def crash_server(self, server_id: str) -> int:
+        """Hard server crash: cores, memory, containers, invoker all die.
+
+        In-flight activations are interrupted and re-enqueued through the
+        scheduler onto surviving servers; returns how many were requeued.
+        """
+        invoker = self.invoker_of(server_id)
+        invoker.server.fail()
+        return self._crash_and_requeue(invoker)
+
+    def crash_invoker(self, server_id: str) -> int:
+        """Invoker-daemon crash: the server stays up but its executor and
+        containers die; in-flight activations are re-enqueued."""
+        return self._crash_and_requeue(self.invoker_of(server_id))
+
+    def restore_server(self, server_id: str) -> None:
+        invoker = self.invoker_of(server_id)
+        invoker.server.restore()
+        invoker.restore()
+
+    def restore_invoker(self, server_id: str) -> None:
+        self.invoker_of(server_id).restore()
+
+    def _crash_and_requeue(self, invoker: Invoker) -> int:
+        orphans = invoker.crash()
+        for message in orphans:
+            self._requeue(message)
+        return len(orphans)
+
+    def _requeue(self, message: ActivationMessage) -> None:
+        """Re-enqueue a crash-orphaned activation on a healthy invoker."""
+        invocation = message.invocation
+        invocation.requeues += 1
+        self.requeues += 1
+        if self.recovery_log is not None:
+            self._pending_recovery[invocation.invocation_id] = \
+                self.recovery_log.record(
+                    "requeue", f"invocation {invocation.invocation_id}")
+        self.env.process(self._republish(message))
+
+    def _republish(self, message: ActivationMessage) -> Generator:
+        # Fresh placement: the scheduler skips dead invokers. The original
+        # container hint is moot — it died with the old invoker.
+        placement = self.scheduler.place(message.request)
+        message.prefer_container = placement.container
+        yield from self.kafka.publish(
+            self._topic_of(placement.invoker), message)
+
+    def cancel_invocation(self, invocation: Invocation) -> bool:
+        """Reap an executing activation (straggler-loser cleanup).
+
+        Best-effort: returns False when the activation is not currently
+        executing on its invoker (still upstream in the pipeline, or
+        already finished) — then it simply runs out on its own.
+        """
+        if not invocation.server_id:
+            return False
+        invoker = self._invoker_by_server.get(invocation.server_id)
+        if invoker is None:
+            return False
+        cancelled = invoker.cancel(invocation.invocation_id)
+        if cancelled:
+            self.cancellations += 1
+        return cancelled
 
     # -- bookkeeping ----------------------------------------------------------
     def _task_started(self) -> None:
@@ -187,6 +273,7 @@ class OpenWhiskPlatform:
     def invoke(self, request: InvocationRequest) -> Generator:
         """Process: run one activation end to end; returns the Invocation."""
         invocation = Invocation(request=request, t_arrive=self.env.now)
+        request.inflight = invocation
         if self.analytic:
             result = yield from self._invoke_admitted(request, invocation)
             return result
@@ -271,6 +358,13 @@ class OpenWhiskPlatform:
 
     def _finish_invocation(self, invocation: Invocation) -> None:
         self.invocations.append(invocation)
+        for listener in self._completion_listeners:
+            listener(invocation)
+        if self._pending_recovery:
+            action = self._pending_recovery.pop(
+                invocation.invocation_id, None)
+            if action is not None:
+                self.recovery_log.complete(action)
         self.tracer.emit(
             self.env.now, "invocation",
             function=invocation.spec.name,

@@ -46,9 +46,20 @@ class OpenWhiskScheduler:
         self._rotation = 0
 
     def _healthy(self) -> List[Invoker]:
-        healthy = [inv for inv in self.invokers
+        """Schedulable invokers: alive first, then probation-free.
+
+        Dead invokers/servers (chaos crashes) are never candidates while
+        any peer survives; probation only thins the alive set. With the
+        whole cluster down we fall back to everyone — the activation
+        queues rather than crashing the scheduler, exactly like a real
+        controller publishing into a dead invoker's topic.
+        """
+        alive = [inv for inv in self.invokers
+                 if inv.alive and inv.server.alive]
+        candidates = alive or self.invokers
+        healthy = [inv for inv in candidates
                    if not inv.server.on_probation]
-        return healthy or self.invokers
+        return healthy or candidates
 
     def _least_loaded(self, candidates: List[Invoker]) -> Invoker:
         """Lowest-utilization invoker; ties rotate (OpenWhisk's hashing
@@ -81,7 +92,8 @@ class HiveMindScheduler(OpenWhiskScheduler):
         if parent is not None and request.colocate_with_parent and \
                 not request.isolate:
             invoker = self._invoker_for(parent.server_id)
-            if invoker is not None and not invoker.server.on_probation:
+            if invoker is not None and invoker.alive and \
+                    invoker.server.alive and not invoker.server.on_probation:
                 container = invoker.warm_container_of(parent)
                 if container is not None and \
                         container.compatible_with(request.spec):

@@ -27,10 +27,10 @@ from repro.experiments import (
 
 class TestRegistry:
     def test_all_figures_registered(self):
-        expected = {"fig01", "fig03a", "fig03b", "fig04", "fig05a",
-                    "fig05b", "fig05c", "fig06a", "fig06b", "fig06c",
-                    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-                    "fig17a", "fig17b", "fig18"}
+        expected = {"chaos", "fig01", "fig03a", "fig03b", "fig04",
+                    "fig05a", "fig05b", "fig05c", "fig06a", "fig06b",
+                    "fig06c", "fig11", "fig12", "fig13", "fig14", "fig15",
+                    "fig16", "fig17a", "fig17b", "fig18"}
         assert set(experiment_ids()) == expected
 
     def test_unknown_experiment(self):

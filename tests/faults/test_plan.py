@@ -1,0 +1,76 @@
+"""FaultPlan construction, validation, ordering, and serialization."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, named_plan, plan_names
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "gremlins")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "device_crash", target="0")
+
+    def test_magnitude_ranges(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "link_degrade", magnitude=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "battery_brownout", target="0", magnitude=1.5)
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "function_faults", magnitude=1.0)
+
+    def test_layer_mapping(self):
+        assert FaultEvent(0.0, "device_crash", target="0").layer == "edge"
+        assert FaultEvent(0.0, "kafka_outage",
+                          duration_s=1.0).layer == "serverless"
+
+
+class TestFaultPlan:
+    def test_builders_and_order(self):
+        plan = FaultPlan(name="p")
+        plan.server_crash(30.0, "server1")
+        plan.cloud_partition(10.0, 5.0)
+        plan.device_crash(30.0, "0")
+        events = plan.sorted_events()
+        assert [e.kind for e in events] == [
+            "cloud_partition", "server_crash", "device_crash"]
+        # Equal times keep insertion order (deterministic replay).
+        assert events[1].time == events[2].time == 30.0
+
+    def test_armed_and_horizon(self):
+        plan = FaultPlan()
+        assert not plan.armed
+        assert plan.horizon() == 0.0
+        plan.cloud_partition(40.0, 20.0)
+        assert plan.armed
+        assert plan.horizon() == 60.0
+
+    def test_roundtrip(self):
+        plan = FaultPlan(name="rt", seed=7)
+        plan.function_faults(0.0, 0.2)
+        plan.invoker_crash(12.0, "server0", reboot_s=3.0)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.name == "rt" and clone.seed == 7
+        assert clone.sorted_events() == plan.sorted_events()
+
+    def test_named_plans_scale_with_duration(self):
+        assert "mixed" in plan_names()
+        short = named_plan("mixed", duration_s=60.0)
+        long = named_plan("mixed", duration_s=600.0)
+        assert short.armed and long.armed
+        assert long.horizon() == pytest.approx(10 * short.horizon())
+        with pytest.raises(KeyError):
+            named_plan("nonexistent", duration_s=60.0)
+        with pytest.raises(ValueError):
+            named_plan("mixed", duration_s=0.0)
+
+    def test_mixed_plan_matches_acceptance_recipe(self):
+        plan = named_plan("mixed", duration_s=120.0)
+        kinds = plan.kinds()
+        assert kinds == ("cloud_partition", "function_faults",
+                         "server_crash")
+        faults = [e for e in plan.events if e.kind == "function_faults"]
+        assert faults[0].magnitude == pytest.approx(0.20)

@@ -1,0 +1,168 @@
+"""Straggler races: attribution, loser reaping, and the duplicate racing
+a genuine primary failure."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConstants, ControlConstants
+from repro.core import StragglerMitigator
+from repro.faults import InvariantChecker
+from repro.serverless import (
+    FunctionSpec,
+    InvocationRequest,
+    OpenWhiskPlatform,
+)
+from repro.sim import Environment, RandomStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_stack(env, harden_races=True, servers=2):
+    cluster = Cluster(env, ClusterConstants(servers=servers,
+                                            cores_per_server=8))
+    platform = OpenWhiskPlatform(env, cluster, RandomStreams(3))
+    mitigator = StragglerMitigator(env, platform, ControlConstants(),
+                                   harden_races=harden_races)
+    return platform, mitigator
+
+
+def prime_history(mitigator, name="f", latency=0.6, n=None):
+    series = mitigator._series(name)
+    for _ in range(n or StragglerMitigator.MIN_HISTORY):
+        series.add(latency)
+
+
+def slow_down(platform, server_id, factor=50.0):
+    platform.invoker_of(server_id).slow_factor = factor
+
+
+class TestAttribution:
+    def test_strike_lands_on_the_actual_straggler(self, env):
+        platform, mitigator = make_stack(env)
+        prime_history(mitigator)
+        spec = FunctionSpec("f")
+        # Server0 is pathologically slow; the scheduler's rotation sends
+        # the first activation there.
+        slow_down(platform, "server0")
+
+        def run():
+            winner = yield from mitigator.invoke(
+                InvocationRequest(spec, service_s=0.5))
+            return winner
+
+        winner = env.run(env.process(run()))
+        assert mitigator.stragglers_detected == 1
+        assert winner.server_id == "server1"
+        assert mitigator._strikes.get("server0") == 1
+        assert "server1" not in mitigator._strikes
+
+    def test_hint_reads_the_inflight_record(self, env):
+        platform, mitigator = make_stack(env)
+        spec = FunctionSpec("f")
+        request = InvocationRequest(spec, service_s=0.1)
+        # No in-flight invocation yet -> no attribution.
+        assert mitigator._primary_server_hint(request) is None
+
+        def run():
+            result = yield from platform.invoke(request)
+            return result
+
+        env.run(env.process(run()))
+        assert mitigator._primary_server_hint(request) == \
+            request.inflight.server_id
+
+
+class TestLoserReaping:
+    def test_losing_primary_is_cancelled(self, env):
+        platform, mitigator = make_stack(env, harden_races=True)
+        prime_history(mitigator)
+        spec = FunctionSpec("f")
+        slow_down(platform, "server0")
+
+        def run():
+            winner = yield from mitigator.invoke(
+                InvocationRequest(spec, service_s=0.5))
+            return winner
+
+        winner = env.run(env.process(run()))
+        assert winner.server_id == "server1"
+        assert platform.cancellations == 1
+        env.run()  # drain the cancel interrupt's cleanup
+        # Only the winner left a completion record; the reaped loser
+        # released its core.
+        assert len(platform.invocations) == 1
+        assert platform.invoker_of("server0").server.utilization == 0
+
+    def test_reaping_off_lets_the_loser_drain(self, env):
+        platform, mitigator = make_stack(env, harden_races=False)
+        prime_history(mitigator)
+        spec = FunctionSpec("f")
+        slow_down(platform, "server0")
+
+        def run():
+            winner = yield from mitigator.invoke(
+                InvocationRequest(spec, service_s=0.5))
+            return winner
+
+        winner = env.run(env.process(run()))
+        assert winner.server_id == "server1"
+        assert platform.cancellations == 0
+        env.run()  # the loser drains to completion on its own
+        assert len(platform.invocations) == 2
+
+
+class TestDuplicateRacingGenuineFailure:
+    def test_primary_crash_during_race_conserves_work(self, env):
+        """The issue's nastiest interleaving: the watchdog has already
+        launched a duplicate when the primary's server genuinely dies.
+        The primary is requeued by the crash machinery while the
+        duplicate wins the race; nothing may complete twice or hang."""
+        platform, mitigator = make_stack(env, harden_races=True, servers=3)
+        checker = InvariantChecker(env)
+        platform.add_completion_listener(checker.invocation_finished)
+        prime_history(mitigator, latency=0.4)
+        spec = FunctionSpec("f")
+        slow_down(platform, "server0", factor=200.0)
+
+        def crash_when_racing():
+            # Wait for the duplicate to be in flight, then kill the
+            # primary's server mid-execution.
+            while mitigator.duplicates_launched == 0:
+                yield env.timeout(0.05)
+            yield env.timeout(0.05)
+            platform.crash_server("server0")
+
+        def run():
+            winner = yield from mitigator.invoke(
+                InvocationRequest(spec, service_s=0.5))
+            return winner
+
+        env.process(crash_when_racing())
+        winner = env.run(env.process(run()))
+        assert winner is not None
+        assert winner.server_id != "server0"
+        assert mitigator.stragglers_detected == 1
+        env.run()  # let any requeued replica drain fully
+        # No invocation finished twice, timestamps stayed ordered.
+        assert checker.violations == []
+        # Every completion record is unique.
+        ids = [inv.invocation_id for inv in platform.invocations]
+        assert len(ids) == len(set(ids))
+
+    def test_winner_recorded_in_history_once(self, env):
+        platform, mitigator = make_stack(env)
+        prime_history(mitigator)
+        spec = FunctionSpec("f")
+        slow_down(platform, "server0")
+        before = len(mitigator._series("f"))
+
+        def run():
+            winner = yield from mitigator.invoke(
+                InvocationRequest(spec, service_s=0.5))
+            return winner
+
+        env.run(env.process(run()))
+        assert len(mitigator._series("f")) == before + 1
