@@ -38,7 +38,11 @@ def main(argv=None) -> int:
 
     with open(args.path) as handle:
         runs = json.load(handle).get("runs", [])
-    matching = [r for r in runs if r.get("label") == args.label
+    # Records may carry manifest fields this script predates (git_rev,
+    # flags, ...) or be malformed entirely; look only at what we need and
+    # skip anything that is not a record object.
+    matching = [r for r in runs if isinstance(r, dict)
+                and r.get("label") == args.label
                 and r.get("events_per_s")]
     if len(matching) < 2:
         print(f"[bench] need >=2 '{args.label}' records to compare "
@@ -49,8 +53,9 @@ def main(argv=None) -> int:
     floor = baseline["events_per_s"] * (1.0 - args.max_drop)
     verdict = "OK" if newest["events_per_s"] >= floor else "REGRESSION"
     print(f"[bench] {args.label}: baseline {baseline['events_per_s']}/s "
-          f"({baseline['date']}), newest {newest['events_per_s']}/s "
-          f"({newest['date']}), floor {floor:.0f}/s -> {verdict}")
+          f"({baseline.get('date', '?')}), newest "
+          f"{newest['events_per_s']}/s "
+          f"({newest.get('date', '?')}), floor {floor:.0f}/s -> {verdict}")
     return 0 if verdict == "OK" else 1
 
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Validate a ``--trace-out`` export against the Chrome trace-event schema.
+
+Checks the JSON the exporter wrote (and that Perfetto / chrome://tracing
+will load): a ``traceEvents`` list whose events are either complete
+(``"ph": "X"`` with name/cat/pid/tid/ts and a non-negative dur, plus the
+causal ``trace_id``/``span_id`` args) or metadata (``"ph": "M"``), with
+every ``parent_id`` resolving to a span in the same file. When the
+sibling ``<stem>.manifest.json`` exists (or ``--manifest`` names one),
+it must round-trip through :class:`repro.obs.RunManifest` and its span
+count must match the trace.
+
+Usage::
+
+    python scripts/check_trace.py TRACE.json [--manifest MANIFEST.json]
+
+Exits non-zero on the first schema violation — CI's ``trace-smoke`` job
+runs this after exporting a small figure.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_COMPLETE_KEYS = ("name", "cat", "pid", "tid", "ts", "dur", "args")
+
+
+def fail(message: str) -> int:
+    print(f"[check_trace] FAIL: {message}")
+    return 1
+
+
+def check_trace(path: pathlib.Path) -> int:
+    with open(path) as handle:
+        document = json.load(handle)
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("traceEvents is missing or not a list")
+    complete = [e for e in events if e.get("ph") == "X"]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    if len(complete) + len(metadata) != len(events):
+        phases = sorted({e.get("ph") for e in events} - {"X", "M"})
+        return fail(f"unexpected event phases {phases}")
+    if not complete:
+        return fail("no complete ('X') events — empty trace?")
+    span_ids = set()
+    for event in complete:
+        missing = [key for key in REQUIRED_COMPLETE_KEYS
+                   if key not in event]
+        if missing:
+            return fail(f"complete event missing {missing}: {event}")
+        if event["dur"] < 0:
+            return fail(f"negative duration: {event}")
+        args = event["args"]
+        if "trace_id" not in args or "span_id" not in args:
+            return fail(f"event lacks causal ids: {event}")
+        span_ids.add((event["pid"], args["span_id"]))
+    # A parent_id may reference a span that never closed (a cancelled
+    # straggler loser's invocation, say) — legal, but worth counting.
+    dangling = sum(1 for event in complete
+                   if event["args"].get("parent_id") is not None
+                   and (event["pid"],
+                        event["args"]["parent_id"]) not in span_ids)
+    if dangling:
+        print(f"[check_trace] note: {dangling} span(s) reference an "
+              f"unclosed parent")
+    thread_names = [e for e in metadata if e.get("name") == "thread_name"]
+    if not thread_names:
+        return fail("no thread_name metadata — layer tracks unlabeled")
+    print(f"[check_trace] {path}: {len(complete)} spans, "
+          f"{len(thread_names)} layer tracks, "
+          f"{len({pid for pid, _ in span_ids})} replica lane(s) — OK")
+    return 0
+
+
+def check_manifest(path: pathlib.Path, trace_path: pathlib.Path) -> int:
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                           .parents[1] / "src"))
+    from repro.obs import RunManifest
+
+    with open(path) as handle:
+        text = handle.read()
+    manifest = RunManifest.from_json(text)
+    clone = RunManifest.from_json(manifest.to_json())
+    if clone != manifest:
+        return fail(f"manifest does not round-trip: {path}")
+    if str(trace_path) not in manifest.trace_files and \
+            trace_path.name not in [pathlib.Path(p).name
+                                    for p in manifest.trace_files]:
+        return fail(f"manifest does not reference {trace_path.name}")
+    with open(trace_path) as handle:
+        spans = sum(1 for e in json.load(handle)["traceEvents"]
+                    if e.get("ph") == "X")
+    if manifest.spans != spans:
+        return fail(f"manifest says {manifest.spans} spans, "
+                    f"trace holds {spans}")
+    print(f"[check_trace] {path}: round-trips, figure={manifest.figure}, "
+          f"rev={manifest.git_rev}, flags={manifest.flags} — OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON from --trace-out")
+    parser.add_argument("--manifest", default=None,
+                        help="run manifest to validate (default: the "
+                             "<stem>.manifest.json sibling when present)")
+    args = parser.parse_args(argv)
+
+    trace_path = pathlib.Path(args.trace)
+    status = check_trace(trace_path)
+    if status:
+        return status
+    manifest_path = (pathlib.Path(args.manifest) if args.manifest else
+                     trace_path.with_name(
+                         f"{trace_path.stem}.manifest.json"))
+    if manifest_path.exists():
+        return check_manifest(manifest_path, trace_path)
+    if args.manifest:
+        return fail(f"manifest {manifest_path} does not exist")
+    print(f"[check_trace] no manifest at {manifest_path}; skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

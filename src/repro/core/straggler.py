@@ -107,12 +107,17 @@ class StragglerMitigator:
         # racing; use whichever finishes first (section 4.6).
         self.stragglers_detected += 1
         self.duplicates_launched += 1
+        if request.trace:
+            request.trace.emit("straggler_detected", "serverless",
+                               self.env.now, self.env.now,
+                               threshold_s=threshold)
         duplicate_request = InvocationRequest(
             spec=request.spec, service_s=request.service_s,
             input_mb=request.input_mb, output_mb=request.output_mb,
             parent=request.parent,
             colocate_with_parent=False,  # new server on purpose
-            priority=request.priority)
+            priority=request.priority,
+            trace=request.trace)
         duplicate = self.env.process(
             self.platform.invoke(duplicate_request))
         final = yield self.env.any_of([primary, duplicate])

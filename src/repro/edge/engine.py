@@ -62,6 +62,7 @@ import numpy as np
 
 from ..sim import Environment
 from ..sim.accounting import tally
+from .. import obs
 from .drone import Drone
 from .field import FieldWorld
 from .sensors import FrameBatch
@@ -90,7 +91,8 @@ class _Flight:
 
     __slots__ = ("drone", "world", "on_batch", "capture", "waypoints",
                  "wp_index", "event", "batches", "slot", "pending_s", "gen",
-                 "leg_steps", "leg_arrivals", "leg_positions")
+                 "leg_steps", "leg_arrivals", "leg_positions",
+                 "trace", "leg_started")
 
     def __init__(self, drone: Drone, world: FieldWorld,
                  on_batch: Optional[BatchCallback], capture: bool,
@@ -114,6 +116,10 @@ class _Flight:
         self.leg_steps: Optional[List[float]] = None
         self.leg_arrivals: Optional[List[float]] = None
         self.leg_positions: Optional[List[Point]] = None
+        #: Causal trace handle for the whole route (NULL_CONTEXT when
+        #: tracing is off) and the pending analytic leg's start instant.
+        self.trace = obs.NULL_CONTEXT
+        self.leg_started = 0.0
 
 
 class _BeatLoop:
@@ -169,6 +175,9 @@ class SwarmEngine:
             return event
         flight = _Flight(drone, world, on_batch, capture,
                          waypoints, event)
+        flight.trace = obs.root_span("flight", "edge", self.env.now,
+                                     device=drone.device_id,
+                                     waypoints=len(waypoints))
         flight.slot = self._alloc_slot()
         drone.position = waypoints[0]
         self._px[flight.slot], self._py[flight.slot] = waypoints[0]
@@ -420,6 +429,7 @@ class SwarmEngine:
         flight.leg_steps = steps
         flight.leg_arrivals = arrivals
         flight.leg_positions = positions
+        flight.leg_started = self.env.now
         flight.gen += 1
         self.analytic_legs += 1
         drone._fail_hook = lambda: self._truncate_analytic(flight)
@@ -445,6 +455,11 @@ class SwarmEngine:
     def _settle_leg(self, flight: _Flight) -> None:
         drone = flight.drone
         drone._fail_hook = None
+        if flight.trace:
+            # Synthesized span at the closed-form instants: the whole leg
+            # was integrated up front, so start/end are already exact.
+            flight.trace.emit("analytic_leg", "edge", flight.leg_started,
+                              self.env.now, ticks=len(flight.leg_steps))
         for step_s in flight.leg_steps:
             drone.account_motion(step_s)
         flight.world.advance(self.env.now)
@@ -483,4 +498,5 @@ class SwarmEngine:
         flight.gen += 1
         flight.drone._fail_hook = None
         self._free.append(flight.slot)
+        flight.trace.close(self.env.now, batches=flight.batches)
         flight.event.succeed(flight.batches)

@@ -14,7 +14,14 @@ it composes with any figure id, ``all``, and every bench mode;
 ``--no-vector-edge`` forces the legacy per-device flight processes
 (``REPRO_VECTOR_EDGE=0`` equivalent);
 ``--no-analytic-net`` forces the legacy Resource-based network/serverless
-queues (``REPRO_ANALYTIC_NET=0`` equivalent).
+queues (``REPRO_ANALYTIC_NET=0`` equivalent);
+``--trace`` arms causal request tracing (``REPRO_TRACE=1`` equivalent);
+``--trace-out PATH`` additionally exports the spans as Chrome
+``trace_event`` JSON (Perfetto-loadable; one extra file per pool replica)
+plus a ``<stem>.manifest.json`` run manifest;
+``--profile-out PATH`` dumps per-replica cProfile stats to
+``PATH.r<index>`` (works under the parallel executor, where ``--profile``
+alone can only see the coordinating process).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import pathlib
 import pstats
 import sys
 
+from .. import obs
 from .common import ExperimentResult
 from .registry import EXPERIMENTS, experiment_ids, run_experiment
 
@@ -87,6 +95,16 @@ def main(argv=None) -> int:
                         help="fall back to the legacy Resource-based "
                              "network/serverless queues (sets "
                              "REPRO_ANALYTIC_NET=0)")
+    parser.add_argument("--trace", action="store_true",
+                        help="arm causal request tracing (sets "
+                             "REPRO_TRACE=1 so pool workers trace too)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write the collected spans as Chrome "
+                             "trace_event JSON (implies --trace); a run "
+                             "manifest lands next to it")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="dump per-replica cProfile stats to "
+                             "PATH.r<index> (parallel-executor safe)")
     args = parser.parse_args(argv)
 
     if args.no_vector_edge:
@@ -94,6 +112,14 @@ def main(argv=None) -> int:
         os.environ["REPRO_VECTOR_EDGE"] = "0"
     if args.no_analytic_net:
         os.environ["REPRO_ANALYTIC_NET"] = "0"
+    if args.trace_out:
+        args.trace = True
+    if args.trace:
+        # Environment first (workers inherit), then the in-process tracer.
+        os.environ["REPRO_TRACE"] = "1"
+        obs.install()
+    if args.profile_out:
+        os.environ["REPRO_PROFILE_OUT"] = args.profile_out
 
     # --profile composes with every mode below: figures, 'all', and the
     # bench workloads all run under the same profiler when requested.
@@ -108,6 +134,29 @@ def main(argv=None) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        if args.trace_out:
+            _export_trace(args)
+
+
+def _export_trace(args) -> None:
+    """Write the Chrome trace file(s) plus the run manifest."""
+    tracer = obs.active_tracer()
+    spans = tracer.spans if tracer is not None else []
+    written = obs.write_trace_files(args.trace_out, spans)
+    target = pathlib.Path(args.trace_out)
+    mode = args.figure or \
+        ("chaos" if args.chaos else
+         "bench-smoke" if args.bench_smoke else
+         "bench-fig17" if args.bench_fig17 else
+         "bench-fig11" if args.bench_fig11 else "?")
+    manifest = obs.RunManifest.collect(
+        mode, seed=args.seed,
+        spans=len(spans), trace_files=[str(p) for p in written])
+    manifest_path = manifest.write(
+        str(target.with_name(f"{target.stem}.manifest.json")))
+    print(f"[trace written to {written[0]} "
+          f"({len(spans)} spans, {len(written)} file(s)); "
+          f"manifest at {manifest_path}]")
 
 
 def _print_bench(records) -> None:

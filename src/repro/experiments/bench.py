@@ -58,6 +58,7 @@ def record_bench(label: str, wall_s: float, sim_events: int,
                  path: Optional[str] = None,
                  extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Append one timing record to the trajectory file and return it."""
+    from ..obs import git_revision, runtime_flags
     record: Dict[str, Any] = {
         "label": label,
         "date": datetime.date.today().isoformat(),
@@ -65,6 +66,10 @@ def record_bench(label: str, wall_s: float, sim_events: int,
         "sim_events": int(sim_events),
         "events_per_s": (round(sim_events / wall_s) if wall_s > 0 else 0),
         "cores": os.cpu_count() or 1,
+        # Manifest provenance: which code and which fast paths produced
+        # this timing (consumers must tolerate unknown fields).
+        "git_rev": git_revision(),
+        "flags": runtime_flags(),
     }
     if extra:
         record.update(extra)

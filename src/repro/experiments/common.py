@@ -39,6 +39,9 @@ class ExperimentResult:
     #: Per-layer breakdown of ``sim_events`` (edge/network/serverless plus
     #: the untagged remainder under "other"; filled in by the registry).
     layer_events: Dict[str, int] = field(default_factory=dict)
+    #: Structured run manifest (:class:`repro.obs.RunManifest`): seed,
+    #: flags, git revision, accounting — attached by the registry.
+    manifest: Optional[Any] = None
 
     def render(self) -> str:
         return render_table(self.headers, self.rows,

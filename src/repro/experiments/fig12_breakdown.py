@@ -14,6 +14,7 @@ from typing import Dict, List
 
 from ..apps import SCENARIO_A, SCENARIO_B, all_apps
 from ..platforms import ScenarioRunner, SingleTierRunner, platform_config
+from .. import obs
 from .common import ExperimentResult
 
 PLATFORMS = ("centralized_faas", "hivemind")
@@ -59,6 +60,14 @@ def run(duration_s: float = 60.0, load_fraction: float = 0.75,
                 "tail": tail,
                 "mean_network": result.breakdowns.mean_fraction("network"),
             }
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        # Causal-span cross-check of the component accounting above: the
+        # per-layer split of every request trace, attributed by deepest
+        # covering span, summing to end-to-end latency by construction.
+        # Rows stay untouched so untraced output is byte-identical.
+        data["span_breakdown"] = obs.aggregate_breakdown(
+            tracer.spans, root_name="task")
     return ExperimentResult(
         figure="fig12",
         title="Tail-latency breakdown (%): centralized vs HiveMind",

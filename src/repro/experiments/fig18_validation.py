@@ -154,8 +154,8 @@ def run(min_samples: int = 2500, base_seed: int = 0) -> ExperimentResult:
             # the steady state is what the closed forms describe.
             series = result.task_latencies
             steady = series.values[series.times > 60.0]
-            sim_median = float(np.percentile(steady, 50))
-            sim_tail = float(np.percentile(steady, 99))
+            sim_median = float(np.percentile(steady, 50, method="linear"))
+            sim_tail = float(np.percentile(steady, 99, method="linear"))
             predicted_median, predicted_tail = _predict(spec, platform)
             median_dev = 100 * (sim_median - predicted_median) / \
                 predicted_median

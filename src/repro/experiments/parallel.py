@@ -30,6 +30,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..sim import kernel
 from ..sim.accounting import layer_counts
 
@@ -71,6 +72,10 @@ class TaskResult:
     #: :mod:`repro.sim.accounting`; events outside any tagged layer are
     #: the difference from ``sim_events``.
     layer_events: Optional[Dict[str, int]] = None
+    #: Causal spans recorded during this task (``repro.obs``); None when
+    #: tracing is off. Pool workers ship their spans back here and the
+    #: coordinator re-absorbs them under this task's replica index.
+    spans: Optional[Tuple] = None
 
 
 def replica_seeds(repeats: int, base_seed: int = 0) -> List[int]:
@@ -103,19 +108,52 @@ def total_layer_counts() -> Dict[str, int]:
 
 def _timed_call(task: Tuple[int, Callable, Tuple, Dict]) -> TaskResult:
     index, fn, args, kwargs = task
+    tracer = obs.active_tracer()
+    spans_before = len(tracer) if tracer is not None else 0
+    profiler = _task_profiler()
     events_before = kernel.events_consumed()
     layers_before = layer_counts()
     start = time.perf_counter()
     value = fn(*args, **kwargs)
     layers_after = layer_counts()
+    wall_s = time.perf_counter() - start
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(
+            f"{os.environ['REPRO_PROFILE_OUT']}.r{index}")
+    spans = None
+    if tracer is not None:
+        # Drain this task's span delta so the coordinator can re-absorb
+        # it under the task's replica index (and so the serial fallback
+        # does not double-record).
+        spans = tuple(tracer.take_from(spans_before))
     return TaskResult(
         index=index,
         value=value,
-        wall_s=time.perf_counter() - start,
+        wall_s=wall_s,
         sim_events=kernel.events_consumed() - events_before,
         layer_events={layer: layers_after[layer] - layers_before[layer]
                       for layer in layers_after},
+        spans=spans,
     )
+
+
+def _task_profiler():
+    """Per-task cProfile, armed by ``REPRO_PROFILE_OUT``.
+
+    Each task dumps to ``<path>.r<index>``, so parallel replicas never
+    clobber one profile file. Returns None when profiling is off or when
+    another profiler is already active in this process (the main-process
+    ``--profile`` run owns the slot there)."""
+    if not os.environ.get("REPRO_PROFILE_OUT"):
+        return None
+    import cProfile
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+    except ValueError:
+        return None  # a profiler is already running in this process
+    return profiler
 
 
 def _try_pool(tasks: List[Tuple[int, Callable, Tuple, Dict]],
@@ -156,11 +194,19 @@ def run_tasks(calls: Sequence[Call],
     if workers < 1:
         raise ValueError("max_workers must be at least 1")
     workers = min(workers, len(tasks))
+    results = None
     if workers > 1:
         results = _try_pool(tasks, workers)
-        if results is not None:
-            return results
-    return [_timed_call(task) for task in tasks]
+    if results is None:
+        results = [_timed_call(task) for task in tasks]
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        # Merge every task's span delta (pool or serial path alike) into
+        # the coordinator's tracer under its replica index.
+        for result in results:
+            if result.spans:
+                tracer.absorb(result.spans, replica=result.index)
+    return results
 
 
 def run_replicas(fn: Callable[..., Any], repeats: int, base_seed: int = 0,

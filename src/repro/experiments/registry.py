@@ -22,6 +22,7 @@ from . import (
     fig18_validation,
 )
 from .common import ExperimentResult
+from .. import obs
 from ..sim.accounting import layer_breakdown
 from .parallel import total_events_consumed, total_layer_counts
 
@@ -77,4 +78,11 @@ def run_experiment(figure: str, **options) -> ExperimentResult:
         {layer: layers_after[layer] - layers_before.get(layer, 0)
          for layer in layers_after},
         result.sim_events)
+    tracer = obs.active_tracer()
+    result.manifest = obs.RunManifest.collect(
+        figure, seed=options.get("base_seed"),
+        elapsed_s=result.elapsed_s,
+        sim_events=result.sim_events,
+        layer_events=dict(result.layer_events),
+        spans=len(tracer) if tracer is not None else 0)
     return result

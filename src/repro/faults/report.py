@@ -11,6 +11,7 @@ prints.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -71,9 +72,12 @@ class RecoveryLog:
 
 
 def _percentile(values: List[float], q: float) -> float:
+    # An empty RecoveryLog has no percentile — report nan rather than a
+    # fake 0.0 that reads as "instant recovery" in the tables.
     if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=float), q))
+        return math.nan
+    return float(np.percentile(np.asarray(values, dtype=float), q,
+                               method="linear"))
 
 
 @dataclass

@@ -97,14 +97,16 @@ class AcceleratedEdgeRpc(EdgeCloudRpc):
         return self.CLOUD_PROC_S * self.constants.residual_cpu_fraction
 
     def call(self, device_id: str, request_mb: float,
-             response_mb: float) -> Generator:
+             response_mb: float, trace=None) -> Generator:
         start = self.env.now
         processing = (self.EDGE_PROC_S + self._cloud_processing_s +
                       self.PER_MB_MARSHAL_S * 0.25 *
                       (request_mb + response_mb))
         yield self.env.timeout(processing)
+        if trace:
+            trace.emit("rpc_processing", "network", start, self.env.now)
         wire_s = yield from self.wireless.round_trip(
-            device_id, request_mb, response_mb)
+            device_id, request_mb, response_mb, trace=trace)
         return RpcResult(
             total_s=self.env.now - start,
             wire_s=wire_s,
@@ -113,14 +115,22 @@ class AcceleratedEdgeRpc(EdgeCloudRpc):
             response_mb=response_mb,
         )
 
-    def push(self, device_id: str, megabytes: float) -> Generator:
+    def push(self, device_id: str, megabytes: float,
+             trace=None) -> Generator:
+        start = self.env.now
         processing = (self.EDGE_PROC_S + self._cloud_processing_s +
                       self.PER_MB_MARSHAL_S * 0.25 * megabytes)
         yield self.env.timeout(processing)
-        wire_s = yield from self.wireless.upload(device_id, megabytes)
+        if trace:
+            trace.emit("rpc_processing", "network", start, self.env.now)
+        wire_s = yield from self.wireless.upload(device_id, megabytes,
+                                                trace=trace)
         # Offload cannot remove the over-the-air ack round trip.
         rtt = self.wireless.constants.base_rtt_s
+        ack_start = self.env.now
         yield self.env.timeout(rtt)
+        if trace:
+            trace.emit("ack_rtt", "network", ack_start, self.env.now)
         wire_s += rtt
         return RpcResult(
             total_s=processing + wire_s, wire_s=wire_s,

@@ -115,7 +115,7 @@ class Link:
         return base
 
     def transfer(self, megabytes: float,
-                 extra_delay_s: float = 0.0) -> Generator:
+                 extra_delay_s: float = 0.0, trace=None) -> Generator:
         """Process: queue for the link, serialize, then propagate.
 
         Yields until the payload is fully delivered; returns the total
@@ -123,29 +123,49 @@ class Link:
         ``extra_delay_s`` is a fixed post-propagation delay (e.g. the
         wireless base RTT) folded into the completion event on the
         analytic path so the caller does not pay a separate timeout.
+        ``trace`` is an optional causal-trace context (``repro.obs``);
+        when set, the transfer emits queue/serialize/propagate child
+        spans at its (possibly closed-form) instants.
         """
         if megabytes < 0:
             raise ValueError("megabytes must be non-negative")
         if not self.analytic:
             result = yield from self._transfer_legacy(
-                megabytes, extra_delay_s)
+                megabytes, extra_delay_s, trace)
             return result
         if self._rng is not None and self.loss_rate:
             result = yield from self._transfer_stochastic(
-                megabytes, extra_delay_s)
+                megabytes, extra_delay_s, trace)
             return result
         result = yield from self._transfer_deterministic(
-            megabytes, extra_delay_s)
+            megabytes, extra_delay_s, trace)
         return result
+
+    def _emit_transfer_spans(self, trace, start: float, grant_at: float,
+                             ser_end: float, completion: float) -> None:
+        """Record the queue/serialize/propagate split of one transfer.
+
+        Called after the completion yield, so both the legacy and
+        analytic paths report the same instants — the analytic ones are
+        simply known in closed form before the payload ever 'moves'.
+        """
+        if grant_at > start:
+            trace.emit("queue", "network", start, grant_at, link=self.name)
+        trace.emit("serialize", "network", grant_at, ser_end,
+                   link=self.name)
+        if completion > ser_end:
+            trace.emit("propagate", "network", ser_end, completion,
+                       link=self.name)
 
     # -- legacy path (REPRO_ANALYTIC_NET=0): the parity oracle --------------
     def _transfer_legacy(self, megabytes: float,
-                         extra_delay_s: float) -> Generator:
+                         extra_delay_s: float, trace=None) -> Generator:
         tally("network", 3 + (1 if extra_delay_s else 0))
         start = self.env.now
         backlog = self.queue_length
         with self._channel.request() as grant:
             yield grant
+            grant_at = self.env.now
             service = self.serialization_time(megabytes)
             if self._rng is not None and self.loss_rate:
                 # Jitter the retransmission inflation around its mean.
@@ -162,11 +182,15 @@ class Link:
             self.meter.record(ser_end, megabytes)
         if extra_delay_s:
             yield self.env.timeout(extra_delay_s)
+        if trace:
+            self._emit_transfer_spans(trace, start, grant_at, ser_end,
+                                      self.env.now)
         return self.env.now - start
 
     # -- analytic paths -----------------------------------------------------
     def _transfer_deterministic(self, megabytes: float,
-                                extra_delay_s: float) -> Generator:
+                                extra_delay_s: float,
+                                trace=None) -> Generator:
         """Closed-form FIFO: no RNG involved, so the grant instant is
         computable at arrival and one completion event suffices."""
         tally("network", 1)
@@ -194,10 +218,13 @@ class Link:
         yield env.timeout_at(completion)
         if self.meter is not None:
             self.meter.record(ser_end, megabytes)
+        if trace:
+            self._emit_transfer_spans(trace, start, grant_at, ser_end,
+                                      completion)
         return env.now - start
 
     def _transfer_stochastic(self, megabytes: float,
-                             extra_delay_s: float) -> Generator:
+                             extra_delay_s: float, trace=None) -> Generator:
         """Lossy links draw their retry count from a stream *shared with
         the other wireless links*, so draws must happen at the grant
         instant in global grant order — exactly where the legacy path
@@ -249,6 +276,9 @@ class Link:
         yield env.timeout_at(completion)
         if self.meter is not None:
             self.meter.record(ser_end, megabytes)
+        if trace:
+            self._emit_transfer_spans(trace, start, grant_at, ser_end,
+                                      completion)
         return env.now - start
 
     @property

@@ -94,14 +94,16 @@ class EdgeCloudRpc:
         self.wireless = wireless
 
     def call(self, device_id: str, request_mb: float,
-             response_mb: float) -> Generator:
+             response_mb: float, trace=None) -> Generator:
         """Process: device-initiated RPC; returns :class:`RpcResult`."""
         start = self.env.now
         processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
                       self.PER_MB_MARSHAL_S * (request_mb + response_mb))
         yield self.env.timeout(processing)
+        if trace:
+            trace.emit("rpc_processing", "network", start, self.env.now)
         wire_s = yield from self.wireless.round_trip(
-            device_id, request_mb, response_mb)
+            device_id, request_mb, response_mb, trace=trace)
         return RpcResult(
             total_s=self.env.now - start,
             wire_s=wire_s,
@@ -110,16 +112,21 @@ class EdgeCloudRpc:
             response_mb=response_mb,
         )
 
-    def push(self, device_id: str, megabytes: float) -> Generator:
+    def push(self, device_id: str, megabytes: float,
+             trace=None) -> Generator:
         """Process: one-way upload (streaming sensor data). The TCP ack
         still crosses the air, so the caller pays one base RTT — folded
         into the upload's completion event on the analytic link path."""
+        start = self.env.now
         processing = (self.EDGE_PROC_S + self.CLOUD_PROC_S +
                       self.PER_MB_MARSHAL_S * megabytes)
         yield self.env.timeout(processing)
+        if trace:
+            trace.emit("rpc_processing", "network", start, self.env.now)
         wire_s = yield from self.wireless.upload(
             device_id, megabytes,
-            extra_delay_s=self.wireless.constants.base_rtt_s)
+            extra_delay_s=self.wireless.constants.base_rtt_s,
+            trace=trace)
         return RpcResult(
             total_s=processing + wire_s, wire_s=wire_s,
             processing_s=processing, request_mb=megabytes, response_mb=0.0)
@@ -148,18 +155,23 @@ class ReliableEdgeRpc:
         self.retries = 0
 
     def call(self, device_id: str, request_mb: float,
-             response_mb: float) -> Generator:
+             response_mb: float, trace=None) -> Generator:
         result = yield from self._reliable(
             device_id,
-            lambda: self.inner.call(device_id, request_mb, response_mb))
+            lambda: self.inner.call(device_id, request_mb, response_mb,
+                                    trace=trace),
+            trace=trace)
         return result
 
-    def push(self, device_id: str, megabytes: float) -> Generator:
+    def push(self, device_id: str, megabytes: float,
+             trace=None) -> Generator:
         result = yield from self._reliable(
-            device_id, lambda: self.inner.push(device_id, megabytes))
+            device_id,
+            lambda: self.inner.push(device_id, megabytes, trace=trace),
+            trace=trace)
         return result
 
-    def _reliable(self, device_id: str, attempt) -> Generator:
+    def _reliable(self, device_id: str, attempt, trace=None) -> Generator:
         policy = self.policy
         start = self.env.now
         deadline = start + policy.total_budget_s
@@ -180,8 +192,12 @@ class ReliableEdgeRpc:
                 self.retries += 1
                 # Discovery timeout for the dead attempt + backoff before
                 # the next, clipped to the remaining budget.
+                retry_start = self.env.now
                 yield self.env.timeout(
                     min(policy.attempt_timeout_s + backoff, remaining))
+                if trace:
+                    trace.emit("rpc_retry", "network", retry_start,
+                               self.env.now, attempt=attempts)
                 backoff *= policy.backoff_factor
                 continue
             if action is not None:

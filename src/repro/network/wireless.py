@@ -132,36 +132,39 @@ class WirelessNetwork:
         return ap
 
     def upload(self, device_id: str, megabytes: float,
-               extra_delay_s: float = 0.0) -> Generator:
+               extra_delay_s: float = 0.0, trace=None) -> Generator:
         """Process: send ``megabytes`` from device to the cloud edge."""
         if self.partitioned:
             raise NetworkPartitioned(device_id)
         ap = self.attach(device_id)
         took = yield from ap.uplink.transfer(megabytes,
-                                             extra_delay_s=extra_delay_s)
+                                             extra_delay_s=extra_delay_s,
+                                             trace=trace)
         return took
 
     def download(self, device_id: str, megabytes: float,
-                 extra_delay_s: float = 0.0) -> Generator:
+                 extra_delay_s: float = 0.0, trace=None) -> Generator:
         """Process: send ``megabytes`` from the cloud edge to the device."""
         if self.partitioned:
             raise NetworkPartitioned(device_id)
         ap = self.attach(device_id)
         took = yield from ap.downlink.transfer(megabytes,
-                                               extra_delay_s=extra_delay_s)
+                                               extra_delay_s=extra_delay_s,
+                                               trace=trace)
         return took
 
     def round_trip(self, device_id: str, up_mb: float,
-                   down_mb: float) -> Generator:
+                   down_mb: float, trace=None) -> Generator:
         """Process: request up, response down; returns total seconds.
 
         The association/MAC overhead per exchange (``base_rtt_s``) is a
         fixed trailing delay, folded into the download's completion event
         on the analytic link path."""
         start = self.env.now
-        yield from self.upload(device_id, up_mb)
+        yield from self.upload(device_id, up_mb, trace=trace)
         yield from self.download(device_id, down_mb,
-                                 extra_delay_s=self.constants.base_rtt_s)
+                                 extra_delay_s=self.constants.base_rtt_s,
+                                 trace=trace)
         return self.env.now - start
 
     @property

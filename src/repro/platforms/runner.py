@@ -29,6 +29,7 @@ from ..faults import FaultInjector, FaultPlan, InvariantChecker, RecoveryLog
 from ..hardware import AcceleratedEdgeRpc, RemoteMemoryFabric
 from ..network import (EdgeCloudRpc, NetworkPartitioned, ReliableEdgeRpc,
                        RpcTimeout, build_fabric)
+from .. import obs
 from ..serverless import InvocationRequest, OpenWhiskPlatform
 from ..sim import Environment, RandomStreams
 from ..telemetry import BreakdownAggregate, LatencyBreakdown, MetricSeries
@@ -267,15 +268,15 @@ class SingleTierRunner:
             heal_waiters.append(gate)
             yield gate
 
-        def download_response(device: Drone) -> Generator:
+        def download_response(device: Drone, trace=None) -> Generator:
             if not chaos:
                 down_s = yield from fabric.wireless.download(
-                    device.device_id, self.app.output_mb)
+                    device.device_id, self.app.output_mb, trace=trace)
                 return down_s
             while True:
                 try:
                     down_s = yield from fabric.wireless.download(
-                        device.device_id, self.app.output_mb)
+                        device.device_id, self.app.output_mb, trace=trace)
                     return down_s
                 except NetworkPartitioned:
                     # The response waits cloud-side; re-fetch after heal.
@@ -283,21 +284,29 @@ class SingleTierRunner:
 
         def shed_to_edge(device: Drone, intrinsic: float,
                          breakdown: LatencyBreakdown,
-                         start: float) -> Generator:
+                         start: float, trace=obs.NULL_CONTEXT) -> Generator:
             """Cloud unreachable past the retry budget: fall back to
             on-device compute, then ship the (small) result once the
             partition heals so downstream consumers still get it."""
             action = recovery_log.record("shed", device.device_id)
+            if trace:
+                trace.emit("shed_to_edge", "serverless", env.now, env.now)
+            exec_start = env.now
             service = yield from device.execute(
                 intrinsic, slowdown=self.app.edge_slowdown)
             breakdown.charge("execution", service)
+            if trace:
+                trace.emit("edge_execute", "edge", exec_start, env.now)
+            push_ctx = trace.span("upload", "network", env.now)
             while True:
                 try:
                     push = yield from edge_rpc.push(device.device_id,
-                                                    self.app.output_mb)
+                                                    self.app.output_mb,
+                                                    trace=push_ctx)
                     break
                 except RpcTimeout:
                     yield from wait_for_heal()
+            push_ctx.close(env.now, mb=self.app.output_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             recovery_log.complete(action)
@@ -311,24 +320,33 @@ class SingleTierRunner:
                 result = yield from platform.invoke(request)
             return result
 
-        def cloud_task(device: Drone, intrinsic: float) -> Generator:
+        def cloud_task(device: Drone, intrinsic: float,
+                       trace=obs.NULL_CONTEXT) -> Generator:
             start = env.now
             breakdown = LatencyBreakdown()
             upload_mb = self.input_mb
             if (execution == "hybrid" and self.config.edge_filtering and
                     self.app.edge_filter_keep < 1.0):
+                filter_start = env.now
                 filter_s = yield from device.execute(
                     self.app.edge_filter_service_s,
                     slowdown=EDGE_FILTER_SLOWDOWN)
                 breakdown.charge("execution", filter_s)
                 upload_mb = min(upload_mb * self.app.edge_filter_keep,
                                 FILTER_CEILING_MB)
+                if trace:
+                    trace.emit("edge_filter", "edge", filter_start, env.now)
+            push_ctx = trace.span("upload", "network", env.now)
             try:
-                push = yield from edge_rpc.push(device.device_id, upload_mb)
+                push = yield from edge_rpc.push(device.device_id, upload_mb,
+                                                trace=push_ctx)
             except RpcTimeout:
                 # Chaos only: the bare transport never raises this.
-                yield from shed_to_edge(device, intrinsic, breakdown, start)
+                push_ctx.close(env.now, timed_out=True)
+                yield from shed_to_edge(device, intrinsic, breakdown, start,
+                                        trace=trace)
                 return
+            push_ctx.close(env.now, mb=upload_mb)
             # CSMA contention keeps the radio active for most of the
             # transfer's wall time, not just its serialization slice.
             device.account_tx(TX_DUTY * push.total_s)
@@ -336,7 +354,8 @@ class SingleTierRunner:
             if platform is not None:
                 request = InvocationRequest(
                     spec=function_spec, service_s=intrinsic,
-                    input_mb=upload_mb, output_mb=self.app.output_mb)
+                    input_mb=upload_mb, output_mb=self.app.output_mb,
+                    trace=trace)
                 if self.intra_task_parallelism and self.app.parallelism > 1:
                     shards = yield from platform.invoke_parallel(
                         request, self.app.parallelism)
@@ -358,31 +377,46 @@ class SingleTierRunner:
                     breakdown.charge("execution",
                                      invocation.breakdown.execution)
             else:
+                pool_start = env.now
                 wait_s, service_s = yield from pool.execute(intrinsic)
                 breakdown.charge("management", wait_s)
                 breakdown.charge("execution", service_s)
+                if trace:
+                    trace.emit("pool_queue", "serverless", pool_start,
+                               pool_start + wait_s)
+                    trace.emit("execute", "execution",
+                               pool_start + wait_s, env.now)
             if self.app.response_to_device:
-                down_s = yield from download_response(device)
+                down_ctx = trace.span("download", "network", env.now)
+                down_s = yield from download_response(device,
+                                                      trace=down_ctx)
+                down_ctx.close(env.now, mb=self.app.output_mb)
                 device.account_rx(TX_DUTY * down_s)
                 breakdown.charge("network", down_s)
             latencies.add(env.now - start, time=start)
             breakdowns.add(breakdown)
 
-        def edge_task(device: Drone, intrinsic: float) -> Generator:
+        def edge_task(device: Drone, intrinsic: float,
+                      trace=obs.NULL_CONTEXT) -> Generator:
             start = env.now
             breakdown = LatencyBreakdown()
             service = yield from device.execute(
                 intrinsic, slowdown=self.app.edge_slowdown)
             breakdown.charge("execution", service)
+            if trace:
+                trace.emit("edge_execute", "edge", start, env.now)
+            push_ctx = trace.span("upload", "network", env.now)
             while True:
                 try:
                     push = yield from edge_rpc.push(device.device_id,
-                                                    self.app.output_mb)
+                                                    self.app.output_mb,
+                                                    trace=push_ctx)
                     break
                 except RpcTimeout:
                     # Chaos only: result is already computed on-board;
                     # hold it until the partition heals.
                     yield from wait_for_heal()
+            push_ctx.close(env.now, mb=self.app.output_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             latencies.add(env.now - start, time=start)
@@ -397,11 +431,15 @@ class SingleTierRunner:
                 task_id = task_seq["n"]
                 checker.task_submitted(task_id)
                 checker.observe_clock(device.device_id, env.now)
+            trace = obs.root_span("task", "task", env.now,
+                                  app=self.app.key,
+                                  device=device.device_id,
+                                  platform=self.config.name)
             try:
                 if process_tier == "edge":
-                    yield from edge_task(device, intrinsic)
+                    yield from edge_task(device, intrinsic, trace=trace)
                 else:
-                    yield from cloud_task(device, intrinsic)
+                    yield from cloud_task(device, intrinsic, trace=trace)
                 if checker is not None:
                     checker.task_completed(task_id)
             except RpcTimeout:
@@ -410,7 +448,9 @@ class SingleTierRunner:
                 # A shed/retry path still gave up (partition outlasted
                 # every fallback): account the loss explicitly.
                 checker.task_lost(task_id, "network_partition")
+                trace.annotate(lost=True)
             finally:
+                trace.close(env.now)
                 outstanding[device.device_id] -= 1
 
         def generator(index: int, device: Drone) -> Generator:

@@ -35,6 +35,7 @@ from ..routing import Region, coverage_route
 from ..serverless import Invocation, InvocationRequest, OpenWhiskPlatform
 from ..sim import Environment, RandomStreams
 from ..telemetry import BreakdownAggregate, LatencyBreakdown, MetricSeries
+from .. import obs
 from .base import PlatformConfig, RunResult
 from .runner import EDGE_FILTER_SLOWDOWN, FILTER_CEILING_MB, TX_DUTY
 
@@ -272,24 +273,32 @@ class ScenarioRunner:
             return result
 
         def recognition_cloud(device: Drone, batch: FrameBatch,
-                              breakdown: LatencyBreakdown) -> Generator:
+                              breakdown: LatencyBreakdown,
+                              trace=obs.NULL_CONTEXT) -> Generator:
             upload_mb = input_mb
             if (execution == "hybrid" and self.config.edge_filtering and
                     app.edge_filter_keep < 1.0):
+                filter_start = env.now
                 filter_s = yield from device.execute(
                     app.edge_filter_service_s,
                     slowdown=EDGE_FILTER_SLOWDOWN)
                 breakdown.charge("execution", filter_s)
                 upload_mb = min(upload_mb * app.edge_filter_keep,
                                 FILTER_CEILING_MB)
-            push = yield from edge_rpc.push(device.device_id, upload_mb)
+                if trace:
+                    trace.emit("edge_filter", "edge", filter_start, env.now)
+            push_ctx = trace.span("upload", "network", env.now)
+            push = yield from edge_rpc.push(device.device_id, upload_mb,
+                                            trace=push_ctx)
+            push_ctx.close(env.now, mb=upload_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             intrinsic = app.sample_cloud_service(rng)
             if platform is not None:
                 request = InvocationRequest(
                     spec=recognition_spec, service_s=intrinsic,
-                    input_mb=upload_mb, output_mb=app.output_mb)
+                    input_mb=upload_mb, output_mb=app.output_mb,
+                    trace=trace)
                 invocation = yield from invoke_cloud(request)
                 breakdown.charge("management",
                                  invocation.breakdown.management)
@@ -297,19 +306,32 @@ class ScenarioRunner:
                 breakdown.charge("execution",
                                  invocation.breakdown.execution)
                 return invocation
+            pool_start = env.now
             wait_s, service_s = yield from pool.execute(intrinsic)
             breakdown.charge("management", wait_s)
             breakdown.charge("execution", service_s)
+            if trace:
+                trace.emit("pool_queue", "serverless", pool_start,
+                           pool_start + wait_s)
+                trace.emit("execute", "execution", pool_start + wait_s,
+                           env.now)
             return None
 
         def recognition_edge(device: Drone,
-                             breakdown: LatencyBreakdown) -> Generator:
+                             breakdown: LatencyBreakdown,
+                             trace=obs.NULL_CONTEXT) -> Generator:
             intrinsic = (app.sample_cloud_service(rng) +
                          self.scenario.edge_extra_service_s)
+            exec_start = env.now
             service = yield from device.execute(
                 intrinsic, slowdown=app.edge_slowdown)
             breakdown.charge("execution", service)
-            push = yield from edge_rpc.push(device.device_id, app.output_mb)
+            if trace:
+                trace.emit("edge_execute", "edge", exec_start, env.now)
+            push_ctx = trace.span("upload", "network", env.now)
+            push = yield from edge_rpc.push(device.device_id, app.output_mb,
+                                            trace=push_ctx)
+            push_ctx.close(env.now, mb=app.output_mb)
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             return None
@@ -320,15 +342,20 @@ class ScenarioRunner:
         persisted_tasks = set(scenario_directives.persisted)
         persist_counter = {"count": 0}
 
-        def persist_output(task_name: str, key: str,
-                           megabytes: float) -> Generator:
+        def persist_output(task_name: str, key: str, megabytes: float,
+                           trace=obs.NULL_CONTEXT) -> Generator:
             if platform is None or task_name not in persisted_tasks:
                 return
+            store_start = env.now
             yield from platform.couchdb.store(key, megabytes)
+            if trace:
+                trace.emit("persist", "data_io", store_start, env.now,
+                           key=key)
             persist_counter["count"] += 1
 
         def aggregate_stage(parent: Optional[Invocation],
-                            breakdown: LatencyBreakdown) -> Generator:
+                            breakdown: LatencyBreakdown,
+                            trace=obs.NULL_CONTEXT) -> Generator:
             """Scenario B deduplication / Scenario A location merge."""
             if platform is None or dedup_spec is None:
                 return
@@ -336,17 +363,22 @@ class ScenarioRunner:
             request = InvocationRequest(
                 spec=dedup_spec, service_s=intrinsic,
                 input_mb=(parent.request.output_mb if parent else 0.1),
-                output_mb=0.05, parent=parent)
+                output_mb=0.05, parent=parent, trace=trace)
             invocation = yield from invoke_cloud(request)
             breakdown.charge("management", invocation.breakdown.management)
             breakdown.charge("data_io", invocation.breakdown.data_io)
             breakdown.charge("execution", invocation.breakdown.execution)
             yield from persist_output(
-                "aggregate", f"agg-{invocation.invocation_id}", 0.05)
+                "aggregate", f"agg-{invocation.invocation_id}", 0.05,
+                trace=trace)
 
         def handle_batch(device: Drone, batch: FrameBatch) -> Generator:
             start = env.now
             breakdown = LatencyBreakdown()
+            trace = obs.root_span("task", "task", env.now,
+                                  scenario=self.scenario.key,
+                                  device=device.device_id,
+                                  platform=self.config.name)
             try:
                 # Obstacle avoidance always on-board (section 2.1), and
                 # declared Parallel(obstacleAvoidance, recognition) in the
@@ -359,20 +391,22 @@ class ScenarioRunner:
                              float(rng.random()) < cloud_fraction))
                 if to_cloud:
                     parent = yield from recognition_cloud(
-                        device, batch, breakdown)
+                        device, batch, breakdown, trace=trace)
                     if parent is not None:
                         yield from persist_output(
                             "recognition",
                             f"rec-{parent.invocation_id}",
-                            app.output_mb)
+                            app.output_mb, trace=trace)
                 else:
-                    parent = yield from recognition_edge(device, breakdown)
+                    parent = yield from recognition_edge(device, breakdown,
+                                                         trace=trace)
                 record_sightings(device, batch)
-                yield from aggregate_stage(parent, breakdown)
+                yield from aggregate_stage(parent, breakdown, trace=trace)
                 yield obstacle  # join the Parallel branch
                 latencies.add(env.now - start, time=start)
                 breakdowns.add(breakdown)
             finally:
+                trace.close(env.now)
                 pending["count"] -= 1
 
         def on_batch(device: Drone):

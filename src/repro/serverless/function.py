@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
+from ..obs import NULL_CONTEXT
 from ..telemetry import LatencyBreakdown
 
 __all__ = ["FunctionSpec", "InvocationRequest", "Invocation"]
@@ -65,6 +66,9 @@ class InvocationRequest:
     #: chaos recovery) attribute the request to the server it actually ran
     #: on instead of guessing from global history.
     inflight: Optional["Invocation"] = None
+    #: Causal trace handle for this request (``repro.obs``); the falsy
+    #: NULL_CONTEXT when tracing is off, so every span site is one branch.
+    trace: Any = NULL_CONTEXT
 
     def __post_init__(self):
         if self.service_s < 0:
@@ -97,6 +101,9 @@ class Invocation:
     #: Inter-function data exchange seconds (the Fig 6b "data I/O" slice).
     data_share_s: float = 0.0
     breakdown: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    #: Per-invocation child trace context, opened by the platform at
+    #: invoke time and closed when the invocation completes.
+    trace: Any = NULL_CONTEXT
 
     @property
     def spec(self) -> FunctionSpec:

@@ -327,16 +327,24 @@ class Invoker:
         Interrupt-safe: a crash/cancel mid-execution releases the pinned
         cores and frees the container's memory before propagating.
         """
+        trace = invocation.trace
+        acquire_start = self.env.now
         container = yield from self._acquire_container(
             request, invocation, prefer_container)
         invocation.server_id = self.server.server_id
         invocation.container_id = container.container_id
         invocation.colocated = (
             prefer_container is not None and container is prefer_container)
+        if trace:
+            trace.emit("cold_start" if invocation.cold_start
+                       else "warm_start", "serverless",
+                       acquire_start, self.env.now,
+                       server=self.server.server_id)
 
         grant = None
         try:
             while True:
+                attempt_start = self.env.now
                 tally("serverless", 2)  # core grant + compute timeout
                 grant = yield from self.server.acquire_cores(1)
                 invocation.t_exec_start = (
@@ -353,11 +361,17 @@ class Invoker:
                     invocation.failures += 1
                     invocation.breakdown.charge("execution", failed_after)
                     self.respawns += 1
+                    if trace:
+                        trace.emit("execute_failed", "execution",
+                                   attempt_start, self.env.now)
                     continue
                 yield from self.server.compute(grant, service)
                 grant.release()
                 grant = None
                 invocation.breakdown.charge("execution", service)
+                if trace:
+                    trace.emit("execute", "execution",
+                               attempt_start, self.env.now)
                 break
         except Interrupt:
             if grant is not None:

@@ -186,6 +186,9 @@ class OpenWhiskPlatform:
         invocation = message.invocation
         invocation.requeues += 1
         self.requeues += 1
+        if invocation.trace:
+            invocation.trace.emit("requeue", "serverless",
+                                  self.env.now, self.env.now)
         if self.recovery_log is not None:
             self._pending_recovery[invocation.invocation_id] = \
                 self.recovery_log.record(
@@ -274,6 +277,10 @@ class OpenWhiskPlatform:
         """Process: run one activation end to end; returns the Invocation."""
         invocation = Invocation(request=request, t_arrive=self.env.now)
         request.inflight = invocation
+        if request.trace:
+            invocation.trace = request.trace.span(
+                "invocation", "serverless", self.env.now,
+                function=request.spec.name)
         if self.analytic:
             result = yield from self._invoke_admitted(request, invocation)
             return result
@@ -291,11 +298,17 @@ class OpenWhiskPlatform:
                   invocation: Invocation) -> Generator:
         """Process: the admitted activation pipeline (front end through
         completion), shared by the legacy and analytic admission paths."""
+        trace = invocation.trace
         # Front end + auth check against CouchDB.
+        front_start = self.env.now
         yield self.env.timeout(self.constants.frontend_latency_s)
+        auth_start = self.env.now
         auth_s = yield from self.couchdb.authenticate()
         invocation.breakdown.charge(
             "management", self.constants.frontend_latency_s + auth_s)
+        if trace:
+            trace.emit("frontend", "serverless", front_start, auth_start)
+            trace.emit("couchdb_auth", "data_io", auth_start, self.env.now)
         # Controller: queue for a scheduler slot, decide placement.
         queue_start = self.env.now
         hold = (self.constants.controller_decision_s +
@@ -315,8 +328,15 @@ class OpenWhiskPlatform:
         placement = self.scheduler.place(request)
         invocation.breakdown.charge(
             "management", self.env.now - queue_start)
+        if trace:
+            trace.emit("controller", "serverless", queue_start,
+                       self.env.now)
         # Fetch the parent's output (protocol depends on placement).
+        share_start = self.env.now
         yield from self._share_parent_output(request, invocation, placement)
+        if trace and self.env.now > share_start:
+            trace.emit("data_share", "data_io", share_start, self.env.now,
+                       protocol=self.sharing_name)
         # Activation travels over Kafka to the chosen invoker's topic; its
         # consumer instantiates and executes, and the caller blocks on the
         # completion event.
@@ -328,6 +348,8 @@ class OpenWhiskPlatform:
             self._topic_of(placement.invoker), message)
         invocation.breakdown.charge(
             "management", self.env.now - kafka_start)
+        if trace:
+            trace.emit("kafka", "serverless", kafka_start, self.env.now)
         invocation.t_scheduled = self.env.now
         yield done
         invocation.t_complete = self.env.now
@@ -373,6 +395,10 @@ class OpenWhiskPlatform:
             cold=invocation.cold_start,
             colocated=invocation.colocated,
             failures=invocation.failures)
+        invocation.trace.close(
+            invocation.t_complete,
+            server=invocation.server_id, cold=invocation.cold_start,
+            requeues=invocation.requeues)
         return invocation
 
     def invoke_parallel(self, request: InvocationRequest,
@@ -401,6 +427,7 @@ class OpenWhiskPlatform:
             input_mb=shard.input_mb, output_mb=shard.output_mb,
             parent=shard.parent,
             colocate_with_parent=shard.colocate_with_parent,
-            priority=shard.priority))) for _ in range(ways)]
+            priority=shard.priority,
+            trace=request.trace))) for _ in range(ways)]
         results = yield self.env.all_of(shards)
         return list(results.values())

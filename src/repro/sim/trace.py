@@ -9,7 +9,7 @@ bytes on the wire, battery draws). Tracing is optional: the no-op
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
 
@@ -37,14 +37,20 @@ class Tracer:
     def count(self, category: str) -> int:
         return self._counters.get(category, 0)
 
-    def records(self, category: str = None) -> Iterator[TraceRecord]:
+    def records(self, category: Optional[str] = None) -> Iterator[TraceRecord]:
         if category is None:
             return iter(self._records)
         return (r for r in self._records if r.category == category)
 
     def series(self, category: str, key: str) -> List[Tuple[float, Any]]:
-        """``(time, payload[key])`` pairs for one category."""
-        return [(r.time, r.payload[key]) for r in self.records(category)]
+        """``(time, payload[key])`` pairs for one category.
+
+        Records without ``key`` in their payload are skipped — mixed
+        payload shapes within one category are legal.
+        """
+        sentinel = object()
+        return [(r.time, value) for r in self.records(category)
+                if (value := r.payload.get(key, sentinel)) is not sentinel]
 
     def clear(self) -> None:
         self._records.clear()
@@ -63,7 +69,7 @@ class NullTracer:
     def count(self, category: str) -> int:
         return 0
 
-    def records(self, category: str = None):
+    def records(self, category: Optional[str] = None):
         return iter(())
 
     def series(self, category: str, key: str):

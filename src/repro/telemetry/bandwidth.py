@@ -72,7 +72,8 @@ class BandwidthMeter:
 
     def percentile_mbs(self, q: float, horizon_s: float = None) -> float:
         """Windowed percentile MB/s (the p99 markers in Fig 14b)."""
-        return float(np.percentile(self._window_series(horizon_s), q))
+        return float(np.percentile(self._window_series(horizon_s), q,
+                                   method="linear"))
 
     def peak_mbs(self, horizon_s: float = None) -> float:
         return float(self._window_series(horizon_s).max())

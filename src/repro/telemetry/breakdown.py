@@ -87,8 +87,10 @@ class BreakdownAggregate:
         if not self._records:
             raise ValueError("no breakdown records")
         totals = np.array([r.total for r in self._records])
-        low = np.percentile(totals, max(0.0, percentile - width))
-        high = np.percentile(totals, min(100.0, percentile + width))
+        low = np.percentile(totals, max(0.0, percentile - width),
+                            method="linear")
+        high = np.percentile(totals, min(100.0, percentile + width),
+                             method="linear")
         chosen = [r for r, t in zip(self._records, totals) if low <= t <= high]
         return chosen or list(self._records)
 

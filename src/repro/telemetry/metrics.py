@@ -168,19 +168,22 @@ class MetricSeries:
         return self.percentile(75) - self.percentile(25)
 
     def summary(self) -> DistributionSummary:
+        # Percentile convention, pinned repo-wide: numpy's "linear"
+        # interpolation (the pre-numpy-1.22 default), matching
+        # MetricSeries.percentile() bit for bit.
         data = self._require_samples()
         return DistributionSummary(
             count=len(data),
             mean=float(data.mean()),
             std=float(data.std()),
             minimum=float(data.min()),
-            p5=float(np.percentile(data, 5)),
-            p25=float(np.percentile(data, 25)),
-            median=float(np.percentile(data, 50)),
-            p75=float(np.percentile(data, 75)),
-            p90=float(np.percentile(data, 90)),
-            p95=float(np.percentile(data, 95)),
-            p99=float(np.percentile(data, 99)),
+            p5=float(np.percentile(data, 5, method="linear")),
+            p25=float(np.percentile(data, 25, method="linear")),
+            median=float(np.percentile(data, 50, method="linear")),
+            p75=float(np.percentile(data, 75, method="linear")),
+            p90=float(np.percentile(data, 90, method="linear")),
+            p95=float(np.percentile(data, 95, method="linear")),
+            p99=float(np.percentile(data, 99, method="linear")),
             maximum=float(data.max()),
         )
 

@@ -1,0 +1,55 @@
+"""Per-replica profiling under the parallel executor.
+
+``REPRO_PROFILE_OUT=<path>`` makes every executor task dump its own
+cProfile stats to ``<path>.r<index>`` — the fix for ``--profile`` runs
+where all pool workers used to clobber one file.
+"""
+
+import pstats
+
+import pytest
+
+from repro.experiments.parallel import run_tasks
+
+pytestmark = pytest.mark.quick
+
+
+def _work(n):
+    return sum(range(n))
+
+
+class TestProfileOut:
+    def test_each_replica_gets_its_own_dump(self, tmp_path, monkeypatch):
+        target = tmp_path / "prof"
+        monkeypatch.setenv("REPRO_PROFILE_OUT", str(target))
+        results = run_tasks([(_work, (1000,), {}),
+                             (_work, (2000,), {}),
+                             (_work, (3000,), {})], max_workers=1)
+        assert [r.value for r in results] == [_work(1000), _work(2000),
+                                              _work(3000)]
+        for index in range(3):
+            dump = tmp_path / f"prof.r{index}"
+            assert dump.exists(), f"missing per-replica dump {dump}"
+            # The dump is a readable pstats file, not just a touch.
+            stats = pstats.Stats(str(dump))
+            assert stats.total_calls > 0
+
+    def test_no_env_means_no_dumps(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_OUT", raising=False)
+        run_tasks([(_work, (1000,), {})], max_workers=1)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_nested_profiler_declines_gracefully(self, tmp_path,
+                                                 monkeypatch):
+        # When the coordinating process already profiles (--profile),
+        # the per-task profiler must stand down instead of raising.
+        import cProfile
+
+        monkeypatch.setenv("REPRO_PROFILE_OUT", str(tmp_path / "prof"))
+        outer = cProfile.Profile()
+        outer.enable()
+        try:
+            results = run_tasks([(_work, (1000,), {})], max_workers=1)
+        finally:
+            outer.disable()
+        assert results[0].value == _work(1000)

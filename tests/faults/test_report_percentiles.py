@@ -1,0 +1,38 @@
+"""Recovery-latency percentiles: empty logs report nan, not 0.0.
+
+A chaos run whose plan never triggers a recovery has no recovery
+latency; reporting 0.0 there reads as "instant recovery" in the tables,
+which is the opposite of "no data".
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults.report import ResilienceReport, _percentile
+
+pytestmark = pytest.mark.quick
+
+
+class TestEmptyRecoveryPercentiles:
+    def test_percentile_of_nothing_is_nan(self):
+        assert math.isnan(_percentile([], 50))
+        assert math.isnan(_percentile([], 99))
+
+    def test_report_properties_propagate_nan(self):
+        report = ResilienceReport(scenario="S1", plan="none",
+                                  submitted=10, completed=10, lost=0,
+                                  violations=0)
+        assert math.isnan(report.recovery_p50_s)
+        assert math.isnan(report.recovery_p99_s)
+
+    def test_populated_log_matches_numpy_linear(self):
+        latencies = [0.5, 1.25, 2.0, 9.0]
+        report = ResilienceReport(scenario="S1", plan="kill", submitted=4,
+                                  completed=4, lost=0, violations=0,
+                                  recovery_latencies_s=list(latencies))
+        assert report.recovery_p50_s == float(
+            np.percentile(latencies, 50, method="linear"))
+        assert report.recovery_p99_s == float(
+            np.percentile(latencies, 99, method="linear"))

@@ -1,0 +1,20 @@
+"""Shared isolation for the observability tests.
+
+``repro.obs`` keeps a process-global tracer plus a cached decision about
+the ``REPRO_TRACE`` environment variable. Every test here starts from
+the pristine "tracing off, environment unread" state and restores it on
+the way out, so tests cannot leak spans (or an armed tracer) into each
+other or into the rest of the suite.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,142 @@
+"""Span model: contexts, ids, the null handle, and worker absorption."""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_CONTEXT, Span, SpanTracer
+
+pytestmark = pytest.mark.quick
+
+
+class TestNullContext:
+    """The tracing-off handle: falsy, inert, and closed under chaining."""
+
+    def test_falsy(self):
+        assert not NULL_CONTEXT
+        assert bool(NULL_CONTEXT) is False
+
+    def test_span_chain_returns_the_singleton(self):
+        child = NULL_CONTEXT.span("a", "network", 0.0).span("b", "edge", 1.0)
+        assert child is NULL_CONTEXT
+
+    def test_all_operations_are_noops(self):
+        NULL_CONTEXT.emit("x", "network", 0.0, 1.0, mb=4)
+        NULL_CONTEXT.annotate(lost=True)
+        NULL_CONTEXT.close(2.0)
+        # Nothing to assert beyond "did not raise and allocated nothing":
+        # there is no tracer to have recorded into.
+
+    def test_root_span_returns_null_when_tracing_off(self):
+        assert obs.active_tracer() is None
+        assert obs.root_span("task", "task", 0.0) is NULL_CONTEXT
+
+
+class TestTraceContext:
+    def test_root_and_child_linkage(self):
+        tracer = SpanTracer()
+        root = tracer.start_trace("task", "task", 0.0, app="S1")
+        assert root  # open contexts are truthy (the `if trace:` guard)
+        child = root.span("upload", "network", 1.0)
+        child.close(3.0, mb=2.5)
+        root.close(5.0)
+        assert len(tracer) == 2
+        upload, task = tracer.spans
+        assert upload.parent_id == task.span_id
+        assert upload.trace_id == task.trace_id
+        assert task.parent_id is None
+        assert (upload.start, upload.end) == (1.0, 3.0)
+        assert upload.attr_dict() == {"mb": 2.5}
+        assert task.attr_dict() == {"app": "S1"}
+
+    def test_emit_records_finished_child(self):
+        tracer = SpanTracer()
+        root = tracer.start_trace("task", "task", 0.0)
+        root.emit("serialize", "network", 2.0, 2.5, link="uplink")
+        span = tracer.spans[0]
+        assert span.name == "serialize"
+        assert span.parent_id == root.span_id
+        assert span.duration == 0.5
+        assert span.attr_dict() == {"link": "uplink"}
+
+    def test_close_is_idempotent(self):
+        # A straggler race can reach both completion paths; only the
+        # first close may record.
+        tracer = SpanTracer()
+        root = tracer.start_trace("task", "task", 0.0)
+        root.close(4.0, winner="original")
+        root.close(9.0, winner="duplicate")
+        assert len(tracer) == 1
+        assert tracer.spans[0].end == 4.0
+        assert tracer.spans[0].attr_dict() == {"winner": "original"}
+
+    def test_annotate_lands_on_close(self):
+        tracer = SpanTracer()
+        root = tracer.start_trace("task", "task", 0.0)
+        root.annotate(lost=True)
+        root.close(1.0)
+        assert tracer.spans[0].attr_dict() == {"lost": True}
+
+    def test_ids_are_unique_across_traces(self):
+        tracer = SpanTracer()
+        a = tracer.start_trace("task", "task", 0.0)
+        b = tracer.start_trace("task", "task", 0.0)
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_spans_are_picklable(self):
+        # Pool workers ship spans back inside TaskResult.
+        span = Span(1, 2, None, "task", "task", 0.0, 1.0,
+                    attrs=(("app", "S1"),))
+        assert pickle.loads(pickle.dumps(span)) == span
+
+
+class TestTracerPlumbing:
+    def test_take_from_pops_the_delta(self):
+        tracer = SpanTracer()
+        tracer.start_trace("task", "task", 0.0).close(1.0)
+        mark = len(tracer)
+        tracer.start_trace("task", "task", 2.0).close(3.0)
+        delta = tracer.take_from(mark)
+        assert [s.start for s in delta] == [2.0]
+        assert len(tracer) == 1  # the pre-mark span stays
+
+    def test_absorb_remaps_ids_and_tags_replica(self):
+        main = SpanTracer()
+        main.start_trace("task", "task", 0.0).close(1.0)
+        worker = SpanTracer()  # fresh counters: ids collide with main's
+        w_root = worker.start_trace("task", "task", 0.0)
+        w_root.emit("upload", "network", 0.2, 0.4)
+        w_root.close(1.0)
+        main.absorb(worker.spans, replica=3)
+        assert len(main) == 3
+        absorbed = main.spans[1:]
+        assert all(s.replica == 3 for s in absorbed)
+        # Ids re-mapped into main's space: no collision with the
+        # pre-existing span, and the parent link survives the re-map.
+        existing = main.spans[0]
+        assert {s.trace_id for s in absorbed} != {existing.trace_id}
+        upload = next(s for s in absorbed if s.name == "upload")
+        task = next(s for s in absorbed if s.name == "task")
+        assert upload.parent_id == task.span_id
+        assert task.parent_id is None
+
+    def test_absorb_of_nothing_is_a_noop(self):
+        main = SpanTracer()
+        main.absorb([], replica=1)
+        assert len(main) == 0
+
+    def test_env_arms_the_global_tracer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        obs.reset()
+        assert obs.tracing_enabled()
+        ctx = obs.root_span("task", "task", 0.0)
+        assert ctx is not NULL_CONTEXT
+        ctx.close(1.0)
+        assert len(obs.active_tracer()) == 1
+
+    def test_env_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        obs.reset()
+        assert not obs.tracing_enabled()

@@ -1,0 +1,40 @@
+"""Regression tests for the telemetry tracer's record/series accessors."""
+
+import pytest
+
+from repro.sim.trace import NullTracer, Tracer
+
+pytestmark = pytest.mark.quick
+
+
+class TestSeries:
+    def test_series_skips_records_missing_the_key(self):
+        # Mixed payload shapes within one category are legal: a record
+        # without the requested key is skipped, not a KeyError.
+        tracer = Tracer()
+        tracer.emit(1.0, "net", mb=4.0)
+        tracer.emit(2.0, "net", dropped=True)  # no "mb"
+        tracer.emit(3.0, "net", mb=8.0)
+        assert tracer.series("net", "mb") == [(1.0, 4.0), (3.0, 8.0)]
+
+    def test_series_keeps_falsy_values(self):
+        # Present-but-falsy payloads (0.0, None) are real samples.
+        tracer = Tracer()
+        tracer.emit(1.0, "battery", level=0.0)
+        tracer.emit(2.0, "battery", level=None)
+        assert tracer.series("battery", "level") == [(1.0, 0.0),
+                                                     (2.0, None)]
+
+    def test_records_accepts_no_category(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", x=1)
+        tracer.emit(2.0, "b", x=2)
+        assert len(list(tracer.records())) == 2
+        assert len(list(tracer.records("a"))) == 1
+
+    def test_null_tracer_mirrors_the_interface(self):
+        null = NullTracer()
+        null.emit(1.0, "net", mb=4.0)
+        assert null.series("net", "mb") == []
+        assert list(null.records()) == []
+        assert list(null.records("net")) == []
