@@ -7,16 +7,44 @@ per figure — wall seconds, kernel events, events/second — to
 ``BENCH_kernel.json`` at the repo root, so the kernel's performance
 trajectory accumulates run over run.
 
+Seed-era records (the ``seed:*`` rows committed before the kernel
+exported an event counter) carry ``sim_events: null``; they are valid
+wall-clock history but have no events/second figure, so this wrapper
+reports them up front rather than letting downstream tooling trip on
+the nulls.
+
 Equivalent to ``python -m repro.experiments --bench-smoke``. Needs
 ``src`` on ``PYTHONPATH`` (or the package installed).
 """
 
+import json
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments.__main__ import main  # noqa: E402
+from repro.experiments.bench import bench_path  # noqa: E402
+
+
+def annotate_seed_era_records() -> None:
+    """Report wall-clock-only records so their nulls are expected."""
+    target = bench_path()
+    if not target.exists():
+        return
+    try:
+        with open(target) as handle:
+            runs = json.load(handle).get("runs", [])
+    except (OSError, ValueError):
+        return
+    unmeasured = [r.get("label", "?") for r in runs
+                  if isinstance(r, dict) and r.get("sim_events") is None]
+    if unmeasured:
+        print(f"[bench] {len(unmeasured)} seed-era record(s) without "
+              f"event counts (wall-clock only, predate the kernel event "
+              f"counter): {', '.join(sorted(set(unmeasured)))}")
+
 
 if __name__ == "__main__":
+    annotate_seed_era_records()
     sys.exit(main(["--bench-smoke"] + sys.argv[1:]))

@@ -40,10 +40,17 @@ def main(argv=None) -> int:
         runs = json.load(handle).get("runs", [])
     # Records may carry manifest fields this script predates (git_rev,
     # flags, ...) or be malformed entirely; look only at what we need and
-    # skip anything that is not a record object.
-    matching = [r for r in runs if isinstance(r, dict)
-                and r.get("label") == args.label
-                and r.get("events_per_s")]
+    # skip anything that is not a record object. Seed-era records carry
+    # ``sim_events: null`` (wall-clock timed before the kernel exported
+    # an event counter) — they have no events/second figure, so they are
+    # excluded from the comparison explicitly rather than by accident.
+    labeled = [r for r in runs if isinstance(r, dict)
+               and r.get("label") == args.label]
+    seed_era = [r for r in labeled if r.get("sim_events") is None]
+    if seed_era:
+        print(f"[bench] skipping {len(seed_era)} seed-era "
+              f"'{args.label}' record(s) without event counts")
+    matching = [r for r in labeled if r.get("events_per_s")]
     if len(matching) < 2:
         print(f"[bench] need >=2 '{args.label}' records to compare "
               f"(found {len(matching)}); skipping")

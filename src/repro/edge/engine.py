@@ -21,6 +21,10 @@ instant carrying O(1) of actual work each.
 - Heartbeats are absorbed into the same action heap (one wake per beat
   instant for the whole swarm) and emit the same :class:`Heartbeat`
   objects to the same sinks/bus.
+- The engine itself draws no randomness — drone jitter lognormals are
+  drawn by the per-device ``runner.drone{i}`` streams, which the platform
+  runners serve from draw-ahead buffers (:meth:`~repro.sim.rng.
+  RandomStreams.buffered`), so engine wakes never touch a Generator.
 
 Determinism contract (PR 1's, extended): at fixed seeds a run through the
 engine produces byte-identical figure rows to the legacy per-device

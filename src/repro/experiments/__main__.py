@@ -15,6 +15,11 @@ it composes with any figure id, ``all``, and every bench mode;
 (``REPRO_VECTOR_EDGE=0`` equivalent);
 ``--no-analytic-net`` forces the legacy Resource-based network/serverless
 queues (``REPRO_ANALYTIC_NET=0`` equivalent);
+``--no-fast-dispatch`` forces the legacy kernel dispatch loop
+(``REPRO_FAST_DISPATCH=0`` equivalent);
+``--no-batched-rng`` forces scalar per-draw RNG calls
+(``REPRO_BATCHED_RNG=0`` equivalent);
+``--bench-dispatch`` records the fast/legacy dispatch+RNG milestone pair;
 ``--trace`` arms causal request tracing (``REPRO_TRACE=1`` equivalent);
 ``--trace-out PATH`` additionally exports the spans as Chrome
 ``trace_event`` JSON (Perfetto-loadable; one extra file per pool replica)
@@ -75,6 +80,9 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-fig11", action="store_true",
                         help="record the fig11 legacy/analytic queueing "
                              "milestone pair in BENCH_kernel.json")
+    parser.add_argument("--bench-dispatch", action="store_true",
+                        help="record the legacy/fast dispatch+RNG "
+                             "milestone pair in BENCH_kernel.json")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
@@ -95,6 +103,12 @@ def main(argv=None) -> int:
                         help="fall back to the legacy Resource-based "
                              "network/serverless queues (sets "
                              "REPRO_ANALYTIC_NET=0)")
+    parser.add_argument("--no-fast-dispatch", action="store_true",
+                        help="fall back to the legacy kernel dispatch "
+                             "loop (sets REPRO_FAST_DISPATCH=0)")
+    parser.add_argument("--no-batched-rng", action="store_true",
+                        help="fall back to scalar per-draw RNG calls "
+                             "(sets REPRO_BATCHED_RNG=0)")
     parser.add_argument("--trace", action="store_true",
                         help="arm causal request tracing (sets "
                              "REPRO_TRACE=1 so pool workers trace too)")
@@ -112,6 +126,10 @@ def main(argv=None) -> int:
         os.environ["REPRO_VECTOR_EDGE"] = "0"
     if args.no_analytic_net:
         os.environ["REPRO_ANALYTIC_NET"] = "0"
+    if args.no_fast_dispatch:
+        os.environ["REPRO_FAST_DISPATCH"] = "0"
+    if args.no_batched_rng:
+        os.environ["REPRO_BATCHED_RNG"] = "0"
     if args.trace_out:
         args.trace = True
     if args.trace:
@@ -148,7 +166,8 @@ def _export_trace(args) -> None:
         ("chaos" if args.chaos else
          "bench-smoke" if args.bench_smoke else
          "bench-fig17" if args.bench_fig17 else
-         "bench-fig11" if args.bench_fig11 else "?")
+         "bench-fig11" if args.bench_fig11 else
+         "bench-dispatch" if args.bench_dispatch else "?")
     manifest = obs.RunManifest.collect(
         mode, seed=args.seed,
         spans=len(spans), trace_files=[str(p) for p in written])
@@ -202,6 +221,12 @@ def _dispatch(args) -> int:
     if args.bench_fig11:
         from .bench import bench_path, run_fig11_milestone
         _print_bench(run_fig11_milestone(seed=args.seed))
+        print(f"[milestone pair appended to {bench_path()}]")
+        return 0
+
+    if args.bench_dispatch:
+        from .bench import bench_path, run_dispatch_milestone
+        _print_bench(run_dispatch_milestone(seed=args.seed))
         print(f"[milestone pair appended to {bench_path()}]")
         return 0
 

@@ -20,6 +20,7 @@ from . import (
     fig16_cars,
     fig17_scalability,
     fig18_validation,
+    sweep,
 )
 from .common import ExperimentResult
 from .. import obs
@@ -49,6 +50,10 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig17a": fig17_scalability.run_resolution,
     "fig17b": fig17_scalability.run_swarm_size,
     "fig18": fig18_validation.run,
+    # Closed-form (app, platform, N) grid — zero kernel events by design.
+    "sweep": sweep.run,
+    # Exact-vs-analytic tolerance check at small N (CI's sweep-smoke job).
+    "sweep-validate": sweep.validate,
 }
 
 

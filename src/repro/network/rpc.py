@@ -12,6 +12,11 @@ Two RPC paths exist in the paper's system:
 
 A call returns :class:`RpcResult` with the wall-clock split the breakdown
 accounting needs (wire vs. per-call processing).
+
+RPC transports draw no randomness of their own — all stochastic loss
+retries happen inside the links they ride (see
+:class:`~repro.network.wireless.WirelessNetwork`, whose shared loss
+stream is served from a vectorized draw-ahead buffer).
 """
 
 from __future__ import annotations

@@ -39,7 +39,12 @@ def build_fabric(env: Environment, constants: PaperConstants,
     selects the virtual-clock link models (None: the
     ``REPRO_ANALYTIC_NET`` default, see :mod:`repro.sim.flags`).
     """
-    rng = streams.stream("network.loss") if streams is not None else None
+    # The shared loss stream is the hottest RNG consumer in the fabric
+    # (one geometric draw per stochastic transfer grant): serve it from a
+    # draw-ahead buffer. Exact-parity: the stream is single-lane (every
+    # wireless link draws geometric with the same fixed p), see
+    # repro.sim.rng. REPRO_BATCHED_RNG=0 restores the raw generator.
+    rng = streams.buffered("network.loss") if streams is not None else None
     wireless_meter = BandwidthMeter("wireless")
     cluster_meter = BandwidthMeter("cluster")
     wireless = WirelessNetwork(env, constants.wireless,

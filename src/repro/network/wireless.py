@@ -66,7 +66,15 @@ class AccessPoint:
 
 
 class WirelessNetwork:
-    """The swarm's access network: devices balanced across access points."""
+    """The swarm's access network: devices balanced across access points.
+
+    ``rng`` is shared by every link and draws only fixed-``p`` geometric
+    retry counts, so :func:`~repro.network.topology.build_fabric` passes a
+    draw-ahead :class:`~repro.sim.rng.BufferedStream` here — the hottest
+    RNG consumer in a run refills in vectorized blocks instead of paying
+    one Generator call per transfer grant (``REPRO_BATCHED_RNG=0``
+    restores scalar draws; the sequence is bit-identical either way).
+    """
 
     def __init__(self, env: Environment, constants: WirelessConstants,
                  meter: Optional[BandwidthMeter] = None,

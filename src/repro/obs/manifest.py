@@ -41,10 +41,13 @@ def git_revision() -> str:
 def runtime_flags() -> Dict[str, Any]:
     """The fast-path/observability switches in effect right now."""
     from . import tracing_enabled
-    from ..sim.flags import analytic_net_enabled
+    from ..sim.flags import (analytic_net_enabled, batched_rng_enabled,
+                             fast_dispatch_enabled)
     return {
         "vector_edge": os.environ.get("REPRO_VECTOR_EDGE", "1") != "0",
         "analytic_net": analytic_net_enabled(),
+        "fast_dispatch": fast_dispatch_enabled(),
+        "batched_rng": batched_rng_enabled(),
         "trace": tracing_enabled(),
     }
 

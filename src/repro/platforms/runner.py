@@ -242,9 +242,13 @@ class SingleTierRunner:
             process_tier = "edge"
 
         # Devices.
+        # Single-tier drones draw only service-time lognormals (no sensor
+        # captures here), so each per-device stream is a pure
+        # standard-normal lane — safe for draw-ahead buffering (see
+        # repro.sim.rng). A modest block: N devices each hold a buffer.
         devices = [
             Drone(env, f"drone{i:04d}", self.constants.drone,
-                  rng=streams.stream(f"runner.drone{i}"))
+                  rng=streams.buffered(f"runner.drone{i}", block=128))
             for i in range(self.n_devices)
         ]
         outstanding: Dict[str, int] = {d.device_id: 0 for d in devices}

@@ -54,7 +54,16 @@ class ActivationMessage:
 
 
 class Invoker:
-    """Launches functions in containers on one server."""
+    """Launches functions in containers on one server.
+
+    ``rng`` arrives as a draw-ahead :class:`~repro.sim.rng.BufferedStream`
+    (see :meth:`ControlPlane` wiring in :mod:`repro.serverless.openwhisk`):
+    fault-free runs draw only service/jitter lognormals, which share one
+    standard-normal lane. Chaos runs that raise :attr:`fault_rate` mid-run
+    add ``random``/``uniform`` draws; the buffer rewinds and degrades to
+    scalar passthrough after a few lane switches, keeping the draw
+    sequence bit-identical to an unbuffered generator.
+    """
 
     #: How long to back off when the server has no memory for a container.
     MEMORY_RETRY_S = 0.05

@@ -65,13 +65,19 @@ class OpenWhiskPlatform:
         self.env = env
         self.cluster = cluster
         self.constants = constants or ServerlessConstants()
+        # Draw-ahead buffers (see repro.sim.rng): CouchDB owns a pure
+        # Pareto-tail lane; each invoker's stream is a pure lognormal
+        # (standard-normal) lane while fault injection is off, and the
+        # wrapper's rewind-and-replay keeps the sequence exact if chaos
+        # flips fault_rate mid-run. REPRO_BATCHED_RNG=0 restores raw
+        # generators.
         self.couchdb = CouchDB(env, self.constants,
-                               rng=streams.stream("serverless.couchdb"),
+                               rng=streams.buffered("serverless.couchdb"),
                                analytic=analytic)
         self.kafka = KafkaBus(env, self.constants, analytic=analytic)
         self.invokers: List[Invoker] = [
             Invoker(env, server, self.constants,
-                    rng=streams.stream(f"serverless.invoker.{server_id}"),
+                    rng=streams.buffered(f"serverless.invoker.{server_id}"),
                     fault_rate=fault_rate, keepalive_s=keepalive_s,
                     analytic=analytic)
             for server_id, server in sorted(cluster.servers.items())

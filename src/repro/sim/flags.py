@@ -1,16 +1,22 @@
 """Runtime fast-path kill switches.
 
-Each big event-count optimisation ships with a fallback flag so a
-regression can be bisected to the model, not the optimisation:
+Each big event-count or stepping optimisation ships with a fallback flag
+so a regression can be bisected to the model, not the optimisation:
 
 - ``REPRO_VECTOR_EDGE=0`` — legacy per-device flight/heartbeat processes
   instead of the vectorized :class:`~repro.edge.SwarmEngine` (resolved in
   :class:`~repro.platforms.scenario_runner.ScenarioRunner`).
 - ``REPRO_ANALYTIC_NET=0`` — legacy ``Resource``-based FIFO queueing in
-  the network and serverless service layers instead of the analytic
-  virtual-clock models (resolved here).
+  the network, serverless, and on-device service layers instead of the
+  analytic virtual-clock models (resolved here).
+- ``REPRO_FAST_DISPATCH=0`` — the legacy step-at-a-time event loop in
+  :meth:`~repro.sim.Environment.run` instead of the inlined monomorphic
+  dispatch loop (resolved here).
+- ``REPRO_BATCHED_RNG=0`` — plain scalar ``numpy`` generators instead of
+  the block-refilled :class:`~repro.sim.rng.BufferedStream` draw-ahead
+  wrappers (resolved here).
 
-Both default to **on**; an explicit constructor argument always wins over
+All default to **on**; an explicit constructor argument always wins over
 the environment.
 """
 
@@ -19,7 +25,17 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-__all__ = ["analytic_net_enabled"]
+__all__ = [
+    "analytic_net_enabled",
+    "fast_dispatch_enabled",
+    "batched_rng_enabled",
+]
+
+
+def _enabled(variable: str, override: Optional[bool]) -> bool:
+    if override is not None:
+        return bool(override)
+    return os.environ.get(variable, "1") != "0"
 
 
 def analytic_net_enabled(override: Optional[bool] = None) -> bool:
@@ -29,6 +45,14 @@ def analytic_net_enabled(override: Optional[bool] = None) -> bool:
     otherwise ``REPRO_ANALYTIC_NET=0`` disables the fast path and any
     other value (or no variable) enables it.
     """
-    if override is not None:
-        return bool(override)
-    return os.environ.get("REPRO_ANALYTIC_NET", "1") != "0"
+    return _enabled("REPRO_ANALYTIC_NET", override)
+
+
+def fast_dispatch_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the kernel dispatch-loop flag (``REPRO_FAST_DISPATCH``)."""
+    return _enabled("REPRO_FAST_DISPATCH", override)
+
+
+def batched_rng_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the RNG draw-ahead flag (``REPRO_BATCHED_RNG``)."""
+    return _enabled("REPRO_BATCHED_RNG", override)

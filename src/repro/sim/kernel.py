@@ -37,6 +37,14 @@ internal complexity for throughput while keeping the exact
   through small per-environment pools when (and only when) nothing else
   holds a reference, so the dominant yield-timeout-resume cycle allocates
   nothing in steady state.
+- :meth:`Environment.run` executes a *monomorphic inlined dispatch loop*
+  by default (``fast_dispatch``): the pop-next/dispatch/recycle sequence
+  of :meth:`step` fused into one frame with a single merged decision tree
+  per event, removing two Python calls and the double FIFO/heap
+  inspection each event otherwise pays. ``REPRO_FAST_DISPATCH=0`` (or
+  ``Environment(fast_dispatch=False)``) falls back to the legacy
+  step-at-a-time loop, kept as the parity oracle — both loops dispatch
+  the identical (time, priority, eid) sequence.
 
 :func:`events_consumed` exposes a process-wide dispatch counter for
 events/sec accounting in the benchmark harness.
@@ -49,6 +57,8 @@ import itertools
 from collections import deque
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .flags import fast_dispatch_enabled
 
 __all__ = [
     "Environment",
@@ -391,10 +401,15 @@ class Environment:
     ----------
     initial_time:
         Starting value of :attr:`now` (seconds).
+    fast_dispatch:
+        Use the inlined dispatch loop in :meth:`run` (None: the
+        ``REPRO_FAST_DISPATCH`` environment default, on).
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 fast_dispatch: Optional[bool] = None):
         self._now = float(initial_time)
+        self._fast_dispatch = fast_dispatch_enabled(fast_dispatch)
         #: Heap of (time, priority, eid, event) — *delayed* events only.
         self._queue: List = []
         #: Per-priority FIFOs of (eid, event) due at the current instant.
@@ -627,29 +642,11 @@ class Environment:
             if stop_at < self._now:
                 raise ValueError(
                     f"until={stop_at} is in the past (now={self._now})")
-        urgent = self._urgent
-        normal = self._normal
-        queue = self._queue
-        pop_next = self._pop_next
-        dispatch = self._dispatch
-        timeout_pool = self._timeout_pool
         try:
-            while True:
-                # Current-instant FIFOs always dispatch (their time is
-                # `now`, which never exceeds `stop_at` inside this loop);
-                # the heap only dispatches while its head is in horizon.
-                if not (urgent or normal):
-                    if not queue or queue[0][0] > stop_at:
-                        break
-                event = pop_next()
-                dispatch(event)
-                # Inline Timeout recycling (see _maybe_recycle): refs here
-                # are the loop local plus getrefcount's argument.
-                if (type(event) is Timeout and
-                        len(timeout_pool) < _POOL_LIMIT and
-                        getrefcount(event) == 2):
-                    event._value = _PENDING
-                    timeout_pool.append(event)
+            if self._fast_dispatch:
+                self._run_fast(stop_at)
+            else:
+                self._run_legacy(stop_at)
         except StopSimulation as stop:
             return stop.args[0]
         if not isinstance(until, Event):
@@ -661,6 +658,104 @@ class Environment:
         if until._value is _PENDING:
             raise RuntimeError("run() ran out of events before `until` fired")
         return until.value
+
+    def _run_legacy(self, stop_at: float) -> None:
+        """Step-at-a-time loop (``REPRO_FAST_DISPATCH=0``): the parity
+        oracle for :meth:`_run_fast`."""
+        urgent = self._urgent
+        normal = self._normal
+        queue = self._queue
+        pop_next = self._pop_next
+        dispatch = self._dispatch
+        timeout_pool = self._timeout_pool
+        while True:
+            # Current-instant FIFOs always dispatch (their time is
+            # `now`, which never exceeds `stop_at` inside this loop);
+            # the heap only dispatches while its head is in horizon.
+            if not (urgent or normal):
+                if not queue or queue[0][0] > stop_at:
+                    break
+            event = pop_next()
+            dispatch(event)
+            # Inline Timeout recycling (see _maybe_recycle): refs here
+            # are the loop local plus getrefcount's argument.
+            if (type(event) is Timeout and
+                    len(timeout_pool) < _POOL_LIMIT and
+                    getrefcount(event) == 2):
+                event._value = _PENDING
+                timeout_pool.append(event)
+
+    def _run_fast(self, stop_at: float) -> None:
+        """Monomorphic inlined dispatch loop (the ``fast_dispatch`` path).
+
+        Semantically identical to :meth:`_run_legacy` — same
+        (time, priority, eid) dispatch order, same recycling rules — but
+        the per-event pop-next/dispatch/recycle sequence is fused into
+        one frame with a single merged decision tree: the legacy path
+        inspects the FIFOs and heap twice per event (once for the stop
+        test, once inside ``_pop_next``) and pays two method calls; this
+        loop inspects once and pays none. Verified byte-identical on
+        every figure harness by ``tests/sim/test_fast_dispatch.py``.
+        """
+        urgent = self._urgent
+        normal = self._normal
+        queue = self._queue
+        timeout_pool = self._timeout_pool
+        list_pool = self._list_pool
+        consumed = _CONSUMED
+        heappop = heapq.heappop
+        while True:
+            # -- pop next (merged stop test + source selection) ----------
+            if urgent:
+                fifo = urgent
+                fifo_priority = URGENT
+            elif normal:
+                fifo = normal
+                fifo_priority = NORMAL
+            else:
+                fifo = None
+            if queue:
+                head = queue[0]
+                if fifo is None:
+                    if head[0] > stop_at:
+                        break
+                    # `head = None` drops the alias to the popped heap
+                    # tuple so the recycling refcount checks below see
+                    # the same counts as the legacy loop.
+                    self._now, _, _, event = heappop(queue)
+                    head = None
+                elif (head[0] == self._now and
+                        (head[1] < fifo_priority or
+                         (head[1] == fifo_priority and
+                          head[2] < fifo[0][0]))):
+                    self._now, _, _, event = heappop(queue)
+                    head = None
+                else:
+                    head = None
+                    event = fifo.popleft()[1]
+            elif fifo is None:
+                break
+            else:
+                event = fifo.popleft()[1]
+            # -- dispatch (the body of _dispatch, inlined) ---------------
+            callbacks = event.callbacks
+            event.callbacks = None
+            self.dispatched += 1
+            consumed[0] += 1
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                # Nobody caught this failure: crash loudly.
+                raise event._value
+            # -- recycling (see _dispatch / _maybe_recycle) --------------
+            if len(list_pool) < _POOL_LIMIT and getrefcount(callbacks) == 2:
+                callbacks.clear()
+                list_pool.append(callbacks)
+            if (type(event) is Timeout and
+                    len(timeout_pool) < _POOL_LIMIT and
+                    getrefcount(event) == 2):
+                event._value = _PENDING
+                timeout_pool.append(event)
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

@@ -1,0 +1,57 @@
+"""Closed-form sweep: grid shape, physics sanity, and exact-sim parity."""
+
+import pytest
+
+from repro.apps import app
+from repro.experiments import sweep
+
+pytestmark = pytest.mark.quick
+
+
+class TestPredict:
+    def test_cell_fields_and_determinism(self):
+        cell = sweep.predict(app("S1"), "centralized_faas", 64)
+        for field in ("median_s", "p99_s", "bw_mbs", "uplink_rho",
+                      "cluster_rho", "rate_hz"):
+            assert field in cell
+        assert cell == sweep.predict(app("S1"), "centralized_faas", 64)
+        assert 0.0 < cell["median_s"] <= cell["p99_s"]
+
+    def test_centralized_saturates_with_swarm_growth(self):
+        spec = app("S1")
+        tails = [sweep.predict(spec, "centralized_faas", n,
+                               rate_hz=spec.rate_hz)["p99_s"]
+                 for n in (16, 256, 4096, 8192)]
+        assert tails == sorted(tails)  # monotone in N
+        assert tails[-1] > 2 * tails[0]  # the fixed cluster bends it
+
+    def test_edge_tier_has_no_cluster_load(self):
+        cell = sweep.predict(app("S1"), "distributed_edge", 1024)
+        assert cell["cluster_rho"] == 0.0
+
+    def test_rejects_nonpositive_swarm(self):
+        with pytest.raises(ValueError):
+            sweep.predict(app("S1"), "hivemind", 0)
+
+
+class TestGrid:
+    def test_grid_shape_and_zero_kernel_events(self):
+        from repro.experiments.parallel import total_events_consumed
+        before = total_events_consumed()
+        result = sweep.run(sizes=(16, 64), apps=[app("S1"), app("S4")],
+                           platforms=("hivemind", "centralized_faas"))
+        assert total_events_consumed() == before  # no kernel stepped
+        assert len(result.rows) == 2 * 2 * 2
+        assert result.figure == "sweep"
+        assert result.headers[0] == "key"
+        assert "S1:hivemind:16" in result.data
+
+
+class TestValidation:
+    def test_analytic_matches_exact_sim_at_small_n(self):
+        result = sweep.validate(app_keys=("S4",),
+                                platforms=("hivemind",),
+                                min_samples=600)
+        assert result.data["all_within_tolerance"], result.rows
+        assert result.data["max_abs_deviation_pct"] <= \
+            result.data["tolerance_pct"]

@@ -97,6 +97,7 @@ class TestManifest:
         assert manifest.sim_events == 123
         assert manifest.git_rev == git_revision()
         assert set(manifest.flags) == {"vector_edge", "analytic_net",
+                                       "fast_dispatch", "batched_rng",
                                        "trace"}
         assert manifest.created  # ISO timestamp, non-empty
 

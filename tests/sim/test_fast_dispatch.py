@@ -1,0 +1,197 @@
+"""Monomorphic kernel dispatch: exact parity with the legacy loop.
+
+``Environment(fast_dispatch=True)`` inlines pop + dispatch + recycling
+into one loop. The contract is byte-identical behavior: same dispatch
+order, same ``run()`` return values, same pooling, same figure rows at
+fixed seeds. ``REPRO_FAST_DISPATCH=0`` (or the constructor override)
+must restore the legacy loop.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.kernel import NORMAL, URGENT
+
+pytestmark = pytest.mark.quick
+
+
+def _mixed_workload(env, trace):
+    """Heap events, zero-delay FIFOs, and ties on one timeline."""
+
+    def worker(tag, delay):
+        yield env.timeout(delay)
+        trace.append((env.now, f"{tag}-a"))
+        yield env.timeout(0)  # zero-delay FIFO lane
+        trace.append((env.now, f"{tag}-b"))
+
+    def urgent_ping():
+        for i in range(3):
+            event = env.event()
+            event.succeed(priority=URGENT)
+            yield event
+            trace.append((env.now, f"urgent{i}"))
+            yield env.timeout(0.5)
+
+    def late_value():
+        yield env.timeout(4.0)
+        return "done"
+
+    for tag, delay in (("x", 1.0), ("y", 1.0), ("z", 2.5)):
+        env.process(worker(tag, delay))
+    env.process(urgent_ping())
+    return env.process(late_value())
+
+
+@pytest.mark.parametrize("fast", (False, True))
+def test_flag_selects_loop(fast):
+    env = Environment(fast_dispatch=fast)
+    assert env._fast_dispatch is fast
+
+
+def test_env_var_kill_switch():
+    old = os.environ.get("REPRO_FAST_DISPATCH")
+    os.environ["REPRO_FAST_DISPATCH"] = "0"
+    try:
+        assert Environment()._fast_dispatch is False
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_FAST_DISPATCH", None)
+        else:
+            os.environ["REPRO_FAST_DISPATCH"] = old
+
+
+def test_dispatch_order_and_return_value_parity():
+    traces = {}
+    values = {}
+    for fast in (False, True):
+        env = Environment(fast_dispatch=fast)
+        trace = []
+        proc = _mixed_workload(env, trace)
+        values[fast] = env.run(proc)
+        traces[fast] = trace
+    assert traces[True] == traces[False]
+    assert values[True] == values[False] == "done"
+    assert traces[True]  # the workload actually dispatched something
+
+
+def test_run_until_time_parity():
+    for fast in (False, True):
+        env = Environment(fast_dispatch=fast)
+        trace = []
+        _mixed_workload(env, trace)
+        env.run(until=1.0)
+        assert env.now == 1.0
+        # Events strictly after the horizon stay queued.
+        assert all(t <= 1.0 for t, _ in trace)
+
+
+def test_timeout_pool_recycles_in_fast_loop():
+    # Regression: the fast loop must not retain a reference to the popped
+    # heap entry, or getrefcount-gated recycling never fires.
+    env = Environment(fast_dispatch=True)
+
+    def ticker():
+        for _ in range(50):
+            yield env.timeout(0.5)
+
+    env.run(env.process(ticker()))
+    assert env._timeout_pool
+
+
+def test_normal_priority_fifo_parity():
+    for fast in (False, True):
+        env = Environment(fast_dispatch=fast)
+        order = []
+
+        def chain(tag):
+            event = env.event()
+            event.succeed(priority=NORMAL)
+            yield event
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(chain(tag))
+        env.run()
+        assert order == list("abc")
+
+
+def test_failed_event_raises_in_fast_loop():
+    env = Environment(fast_dispatch=True)
+
+    def boom():
+        yield env.timeout(1.0)
+        raise RuntimeError("exploded")
+
+    env.process(boom())
+    with pytest.raises(RuntimeError, match="exploded"):
+        env.run()
+
+
+class TestFigureRowParity:
+    """Fixed-seed figure rows must hash identically under every
+    dispatch/RNG fallback combination."""
+
+    FALLBACKS = (
+        {},
+        {"REPRO_FAST_DISPATCH": "0"},
+        {"REPRO_BATCHED_RNG": "0"},
+        {"REPRO_FAST_DISPATCH": "0", "REPRO_BATCHED_RNG": "0"},
+    )
+
+    def _row_digest(self, overrides):
+        from repro.apps import SCENARIO_A
+        from repro.platforms import platform_config
+        from repro.platforms.scenario_runner import ScenarioRunner
+        saved = {k: os.environ.get(k) for k in overrides}
+        try:
+            os.environ.update(overrides)
+            result = ScenarioRunner(
+                platform_config("hivemind"), SCENARIO_A, seed=2,
+                n_devices=16).run()
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        payload = repr((result.extras["makespan_s"],
+                        tuple(result.task_latencies.values))).encode()
+        return hashlib.md5(payload).hexdigest()
+
+    def test_all_fallback_combinations_byte_identical(self):
+        digests = {self._row_digest(dict(overrides))
+                   for overrides in self.FALLBACKS}
+        assert len(digests) == 1
+
+
+class TestDeviceAnalyticParity:
+    def test_contended_core_pool_matches_legacy_resource(self):
+        from repro.edge.device import EdgeDevice
+
+        def build(analytic):
+            env = Environment()
+            device = EdgeDevice(
+                env, "d0", cpu_cores=2, battery_wh=50.0,
+                motion_power_w=10.0, compute_power_w=4.0,
+                compute_idle_w=1.0, radio_tx_w=2.0, radio_rx_w=1.5,
+                radio_idle_w=0.5, cloud_to_edge_slowdown=4.0,
+                analytic=analytic)
+            device.start_mission()
+            finishes = []
+
+            def submit(service):
+                yield env.process(device.execute(service))
+                finishes.append(env.now)
+
+            # 6 tasks on 2 cores: contention, queueing, exact floats.
+            for service in (0.3, 0.2, 0.7, 0.1, 0.4, 0.05):
+                env.process(submit(service))
+            env.run()
+            return finishes, device.energy.consumed_wh
+
+        analytic = build(True)
+        legacy = build(False)
+        assert analytic == legacy

@@ -1,0 +1,203 @@
+"""Draw-ahead RNG buffering: exact scalar-vs-batched parity.
+
+The BufferedStream contract is that a consumer observing its scalar draw
+methods cannot tell it apart from the raw generator — bit for bit, for
+any interleaving of draws, including mid-buffer lane switches and the
+escape hatches. These tests pin the three numpy bit-stream properties
+the design leans on, then brute-force the parity across seeds and draw
+patterns.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import BufferedStream, RandomStreams
+
+pytestmark = pytest.mark.quick
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def _raw(seed, name="hot"):
+    return RandomStreams(seed).stream(name)
+
+
+def _buffered(seed, name="hot", block=64):
+    return RandomStreams(seed).buffered(name, block=block)
+
+
+class TestNumpyBitstreamProperties:
+    """The installed numpy must keep block == scalar draw equivalence."""
+
+    @pytest.mark.parametrize("method,args", [
+        ("random", ()),
+        ("standard_normal", ()),
+        ("geometric", (0.3,)),
+        ("pareto", (2.5,)),
+    ])
+    def test_block_equals_scalar_sequence(self, method, args):
+        for seed in SEEDS:
+            block = getattr(_raw(seed), method)(*args, size=200)
+            scalar_gen = _raw(seed)
+            scalars = [getattr(scalar_gen, method)(*args)
+                       for _ in range(200)]
+            assert block.tolist() == scalars
+
+    def test_normal_family_identities(self):
+        # math.exp (not np.exp, which differs by an ulp on some scalars)
+        # matches the C exp inside Generator.lognormal — BufferedStream
+        # relies on exactly this.
+        import math
+        for seed in SEEDS:
+            a, b, c = _raw(seed), _raw(seed), _raw(seed)
+            for _ in range(100):
+                z = a.standard_normal()
+                assert b.normal(3.5, 0.7) == 3.5 + 0.7 * z
+                assert c.lognormal(0.25, 0.16) == \
+                    math.exp(0.25 + 0.16 * z)
+
+    def test_uniform_identity(self):
+        for seed in SEEDS:
+            a, b = _raw(seed), _raw(seed)
+            for _ in range(100):
+                assert b.uniform(2.0, 9.0) == 2.0 + 7.0 * a.random()
+
+
+def _drain(rng, pattern):
+    """Draw one named pattern from a generator-like object."""
+    if pattern == "uniform":
+        return [rng.random() for _ in range(300)]
+    if pattern == "uniform-args":
+        return [rng.uniform(0.1, 0.9) for _ in range(300)]
+    if pattern == "lognormal":
+        return [rng.lognormal(0.0, 0.18) for _ in range(300)]
+    if pattern == "normal-mixed-params":
+        out = []
+        for i in range(150):
+            out.append(rng.normal(float(i), 0.5))
+            out.append(rng.standard_normal())
+        return out
+    if pattern == "geometric":
+        return [rng.geometric(0.2) for _ in range(300)]
+    if pattern == "pareto":
+        return [rng.pareto(3.0) for _ in range(300)]
+    if pattern == "pingpong":
+        # Alternate lanes faster than MAX_SWITCHES tolerates: the wrapper
+        # must degrade to passthrough without perturbing a single draw.
+        out = []
+        for _ in range(60):
+            out.append(rng.lognormal(0.0, 0.16))
+            out.append(rng.random())
+        return out
+    if pattern == "escape-hatch":
+        out = [rng.lognormal(0.0, 0.16) for _ in range(10)]
+        out.append(int(rng.integers(0, 1 << 30)))  # __getattr__ path
+        out.extend(rng.lognormal(0.0, 0.16) for _ in range(10))
+        return out
+    raise AssertionError(pattern)
+
+
+PATTERNS = ("uniform", "uniform-args", "lognormal", "normal-mixed-params",
+            "geometric", "pareto", "pingpong", "escape-hatch")
+
+
+class TestScalarBatchedParity:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_exact_sequence_equality(self, pattern):
+        for seed in SEEDS:
+            expected = _drain(_raw(seed), pattern)
+            got = _drain(_buffered(seed), pattern)
+            assert got == expected, f"seed {seed} pattern {pattern}"
+
+    @pytest.mark.parametrize("block", (1, 2, 7, 512))
+    def test_parity_is_block_size_independent(self, block):
+        for seed in SEEDS[:2]:
+            expected = _drain(_raw(seed), "lognormal")
+            got = _drain(_buffered(seed, block=block), "lognormal")
+            assert got == expected
+
+    def test_generator_property_syncs_mid_buffer(self):
+        for seed in SEEDS:
+            raw = _raw(seed)
+            expected = [raw.random() for _ in range(5)]
+            expected.append(raw.standard_normal())  # direct generator use
+            expected.extend(raw.random() for _ in range(5))
+
+            buf = _buffered(seed)
+            got = [buf.random() for _ in range(5)]
+            got.append(buf.generator.standard_normal())
+            got.extend(buf.random() for _ in range(5))
+            assert got == expected
+
+    def test_pingpong_degrades_but_stays_exact(self):
+        buf = _buffered(7)
+        _drain(buf, "pingpong")
+        assert buf._scalar  # degraded after MAX_SWITCHES lane flips
+        # ... and keeps matching the raw sequence afterwards.
+        raw = _raw(7)
+        _drain(raw, "pingpong")
+        assert [buf.random() for _ in range(10)] == \
+            [raw.random() for _ in range(10)]
+
+
+class TestFactoryWiring:
+    def test_buffered_replaces_cache_entry(self):
+        streams = RandomStreams(3)
+        wrapper = streams.buffered("a")
+        assert isinstance(wrapper, BufferedStream)
+        assert streams.stream("a") is wrapper
+        assert streams.buffered("a") is wrapper
+
+    def test_kill_switch_returns_raw_generator(self):
+        streams = RandomStreams(3)
+        assert isinstance(streams.buffered("a", batched=False),
+                          np.random.Generator)
+        old = os.environ.get("REPRO_BATCHED_RNG")
+        os.environ["REPRO_BATCHED_RNG"] = "0"
+        try:
+            assert isinstance(RandomStreams(3).buffered("a"),
+                              np.random.Generator)
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_BATCHED_RNG", None)
+            else:
+                os.environ["REPRO_BATCHED_RNG"] = old
+
+    def test_fork_children_unaffected_by_parent_buffering(self):
+        parent = RandomStreams(5)
+        buf = parent.buffered("hot")
+        [buf.random() for _ in range(17)]  # mid-buffer
+        child = parent.fork("worker")
+        fresh_child = RandomStreams(5).fork("worker")
+        assert [child.stream("hot").random() for _ in range(20)] == \
+            [fresh_child.stream("hot").random() for _ in range(20)]
+
+
+class TestFullRunParity:
+    def _run(self, fault_rate):
+        from repro.apps import app
+        from repro.platforms import SingleTierRunner, platform_config
+        result = SingleTierRunner(
+            platform_config("centralized_faas"), app("S4"), seed=11,
+            duration_s=30.0, fault_rate=fault_rate).run()
+        return tuple(result.task_latencies.values)
+
+    @pytest.mark.parametrize("fault_rate", (0.0, 0.2))
+    def test_run_identical_with_and_without_batching(self, fault_rate):
+        # fault_rate > 0 makes the invoker streams interleave uniform
+        # draws between service lognormals — the lane-switch machinery
+        # (and its degradation) must not move a single task latency.
+        old = os.environ.get("REPRO_BATCHED_RNG")
+        try:
+            os.environ["REPRO_BATCHED_RNG"] = "1"
+            batched = self._run(fault_rate)
+            os.environ["REPRO_BATCHED_RNG"] = "0"
+            scalar = self._run(fault_rate)
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_BATCHED_RNG", None)
+            else:
+                os.environ["REPRO_BATCHED_RNG"] = old
+        assert batched == scalar
