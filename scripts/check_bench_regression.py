@@ -12,9 +12,20 @@ oldest) matters: a PR that legitimately shifts the events/second scale
 while *improving* wall clock) re-baselines the check by committing its
 own smoke records.
 
+With ``--pair PREFIX`` the script instead gates a milestone *pair*
+(e.g. the ``--bench-shard`` records): it finds the newest
+``PREFIX:1shard`` baseline and the newest multi-shard leg and fails when
+the recorded wall-clock speedup falls below ``--min-speedup``. Hosts
+differ (CI runners have 2-4 cores, quota-limited containers may have
+one), so the CI floor is deliberately lower than the speedup a
+dedicated box shows — the gate catches the sharded runtime regressing
+toward parity, not machine variance.
+
 Usage::
 
     python scripts/check_bench_regression.py [--max-drop 0.30] [PATH]
+    python scripts/check_bench_regression.py \
+        --pair milestone:fig17b-shard-1024 --min-speedup 1.2
 """
 
 import argparse
@@ -23,6 +34,30 @@ import pathlib
 import sys
 
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+
+def check_pair(runs, prefix, min_speedup) -> int:
+    """Gate the newest shard-milestone pair under ``prefix``."""
+    def newest(predicate):
+        hits = [r for r in runs if isinstance(r, dict) and r.get("wall_s")
+                and predicate(r.get("label", ""))]
+        return hits[-1] if hits else None
+
+    baseline = newest(lambda lab: lab == f"{prefix}:1shard")
+    sharded = newest(lambda lab: lab.startswith(f"{prefix}:")
+                     and lab.endswith("shard")
+                     and lab != f"{prefix}:1shard")
+    if baseline is None or sharded is None:
+        print(f"[bench] need a 1shard + multi-shard record under "
+              f"'{prefix}' to compare; skipping")
+        return 0
+    speedup = baseline["wall_s"] / sharded["wall_s"]
+    verdict = "OK" if speedup >= min_speedup else "REGRESSION"
+    print(f"[bench] {prefix}: 1shard {baseline['wall_s']:.2f}s "
+          f"({baseline.get('date', '?')}), {sharded['label'].split(':')[-1]} "
+          f"{sharded['wall_s']:.2f}s ({sharded.get('date', '?')}), "
+          f"speedup {speedup:.2f}x, floor {min_speedup:.2f}x -> {verdict}")
+    return 0 if verdict == "OK" else 1
 
 
 def main(argv=None) -> int:
@@ -34,10 +69,20 @@ def main(argv=None) -> int:
                              "baseline (default 0.30)")
     parser.add_argument("--label", default="smoke:total",
                         help="record label to compare (default smoke:total)")
+    parser.add_argument("--pair", metavar="PREFIX",
+                        help="gate a --bench-shard pair instead: compare the "
+                             "newest 'PREFIX:1shard' record against the "
+                             "newest multi-shard record")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="wall-clock speedup floor for --pair "
+                             "(default 1.2)")
     args = parser.parse_args(argv)
 
     with open(args.path) as handle:
         runs = json.load(handle).get("runs", [])
+
+    if args.pair:
+        return check_pair(runs, args.pair, args.min_speedup)
     # Records may carry manifest fields this script predates (git_rev,
     # flags, ...) or be malformed entirely; look only at what we need and
     # skip anything that is not a record object. Seed-era records carry

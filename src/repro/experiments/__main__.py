@@ -20,6 +20,11 @@ queues (``REPRO_ANALYTIC_NET=0`` equivalent);
 ``--no-batched-rng`` forces scalar per-draw RNG calls
 (``REPRO_BATCHED_RNG=0`` equivalent);
 ``--bench-dispatch`` records the fast/legacy dispatch+RNG milestone pair;
+``--bench-shard`` records the fig17b 1024-drone 1-shard/4-shard pair;
+``--shards N`` decomposes each swarm run into cells over N shard
+processes (``REPRO_SHARDS=N`` equivalent; byte-identical results);
+``--meanfield`` collapses homogeneous swarm cells into the O(1)
+population model (``REPRO_MEANFIELD=1`` equivalent; approximate);
 ``--trace`` arms causal request tracing (``REPRO_TRACE=1`` equivalent);
 ``--trace-out PATH`` additionally exports the spans as Chrome
 ``trace_event`` JSON (Perfetto-loadable; one extra file per pool replica)
@@ -83,6 +88,18 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-dispatch", action="store_true",
                         help="record the legacy/fast dispatch+RNG "
                              "milestone pair in BENCH_kernel.json")
+    parser.add_argument("--bench-shard", action="store_true",
+                        help="record the fig17b 1024-drone 1-shard/4-shard "
+                             "milestone pair in BENCH_kernel.json")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="decompose each swarm run into cells over N "
+                             "shard processes (sets REPRO_SHARDS=N; "
+                             "results are byte-identical at any count)")
+    parser.add_argument("--meanfield", action="store_true",
+                        help="collapse homogeneous swarm cells into the "
+                             "O(1) mean-field population model (sets "
+                             "REPRO_MEANFIELD=1; approximate — see "
+                             "repro.edge.meanfield)")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
@@ -130,6 +147,11 @@ def main(argv=None) -> int:
         os.environ["REPRO_FAST_DISPATCH"] = "0"
     if args.no_batched_rng:
         os.environ["REPRO_BATCHED_RNG"] = "0"
+    if args.shards is not None:
+        # Environment (not a runner kwarg) so pool workers inherit it.
+        os.environ["REPRO_SHARDS"] = str(args.shards)
+    if args.meanfield:
+        os.environ["REPRO_MEANFIELD"] = "1"
     if args.trace_out:
         args.trace = True
     if args.trace:
@@ -167,7 +189,8 @@ def _export_trace(args) -> None:
          "bench-smoke" if args.bench_smoke else
          "bench-fig17" if args.bench_fig17 else
          "bench-fig11" if args.bench_fig11 else
-         "bench-dispatch" if args.bench_dispatch else "?")
+         "bench-dispatch" if args.bench_dispatch else
+         "bench-shard" if args.bench_shard else "?")
     manifest = obs.RunManifest.collect(
         mode, seed=args.seed,
         spans=len(spans), trace_files=[str(p) for p in written])
@@ -227,6 +250,12 @@ def _dispatch(args) -> int:
     if args.bench_dispatch:
         from .bench import bench_path, run_dispatch_milestone
         _print_bench(run_dispatch_milestone(seed=args.seed))
+        print(f"[milestone pair appended to {bench_path()}]")
+        return 0
+
+    if args.bench_shard:
+        from .bench import bench_path, run_shard_milestone
+        _print_bench(run_shard_milestone(seed=args.seed))
         print(f"[milestone pair appended to {bench_path()}]")
         return 0
 

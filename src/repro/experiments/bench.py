@@ -26,7 +26,7 @@ from .registry import run_experiment
 
 __all__ = ["bench_path", "load_bench", "record_bench", "run_smoke",
            "run_fig17_milestone", "run_fig11_milestone",
-           "run_dispatch_milestone"]
+           "run_dispatch_milestone", "run_shard_milestone"]
 
 #: The fixed smoke workload: small deterministic figure harnesses that
 #: together exercise every platform and both scenarios in ~30 s.
@@ -238,4 +238,82 @@ def run_dispatch_milestone(n_devices: int = 256, seed: int = 0,
         raise AssertionError(
             "dispatch parity violated: legacy loop outputs differ from "
             "the fast dispatch + batched RNG path")
+    return records
+
+
+def run_shard_milestone(n_devices: int = 1024, seed: int = 0,
+                        shards: int = 4, tolerance_pct: float = 10.0,
+                        path: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Record the sharded-runtime milestone pair: 1 shard vs ``shards``.
+
+    Runs the fig17b 1024-drone hivemind Scenario-B point — the
+    saturation workload whose cloud-side aggregation stage actually
+    stresses the shared backend at scale (Scenario A at 1k devices is
+    still flight-dominated) — through the single-process runner, exactly
+    what an unarmed 1-shard run executes, byte-identical to the seed,
+    and through the sharded cell-decomposed runtime of
+    :func:`repro.sim.shard.run_sharded` at ``shards`` scheduling groups,
+    appending one record each, so BENCH_kernel.json carries the
+    before/after evidence for the sharded runtime. The win is
+    algorithmic as well as parallel: cells sidestep the monolithic
+    runner's superlinear shared-state costs (every capture scans the
+    whole scaled field, schedulers track the whole swarm), so the pair
+    shows a speedup even where the worker-process cap
+    (:func:`~repro.experiments.parallel.default_workers`) collapses the
+    shards onto one core.
+
+    The sharded decomposition couples edge and cloud more coarsely than
+    the monolithic kernel, so rows are *not* byte-identical across the
+    two legs (that contract holds across shard counts of the sharded
+    runtime itself — see ``tests/sim/test_shard_determinism.py``).
+    Instead every scenario's observables (bandwidth mean, task p99,
+    makespan) must agree within ``tolerance_pct``; a mismatch raises
+    instead of recording misleading numbers.
+    """
+    from ..apps import SCENARIO_B
+    from ..platforms import platform_config
+    from ..platforms.scenario_runner import ScenarioRunner
+    from ..sim.kernel import events_consumed
+    from ..sim.shard import run_sharded
+
+    def observables(result):
+        bw_mean, _ = result.bandwidth_summary()
+        return (bw_mean, result.task_latencies.p99,
+                result.extras["makespan_s"])
+
+    legs = (
+        ("1shard", 1, lambda: ScenarioRunner(
+            platform_config("hivemind"), SCENARIO_B, seed=seed,
+            n_devices=n_devices).run()),
+        (f"{shards}shard", shards, lambda: run_sharded(
+            platform_config("hivemind"), SCENARIO_B, n_devices,
+            seed=seed, shards=shards)),
+    )
+    records = []
+    walls: Dict[str, float] = {}
+    triples: Dict[str, tuple] = {}
+    for label, count, runner in legs:
+        before = events_consumed()
+        start = time.perf_counter()
+        result = runner()
+        wall = time.perf_counter() - start
+        walls[label] = wall
+        triples[label] = observables(result)
+        extra = {"makespan_s": round(result.extras["makespan_s"], 3),
+                 "shards": count,
+                 "scenario": SCENARIO_B.key}
+        if label != "1shard":
+            extra["speedup"] = round(walls["1shard"] / wall, 2)
+        records.append(record_bench(
+            f"milestone:fig17b-shard-{n_devices}:{label}",
+            wall, events_consumed() - before, path=path, extra=extra))
+    for name, got, want in zip(("bandwidth", "p99", "makespan"),
+                               triples[f"{shards}shard"],
+                               triples["1shard"]):
+        deviation = abs(got - want) / want * 100.0
+        if deviation > tolerance_pct:
+            raise AssertionError(
+                f"shard tolerance violated: {name} deviates "
+                f"{deviation:.1f}% (> {tolerance_pct}%) from the "
+                f"single-process runner")
     return records

@@ -23,6 +23,7 @@ order; only the wall-clock differs.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
@@ -36,6 +37,7 @@ from ..sim.accounting import layer_counts
 
 __all__ = [
     "TaskResult",
+    "available_cpus",
     "default_workers",
     "replica_seeds",
     "run_tasks",
@@ -86,11 +88,55 @@ def replica_seeds(repeats: int, base_seed: int = 0) -> List[int]:
 
 
 def default_workers() -> int:
-    """Worker count: ``REPRO_MAX_WORKERS`` env var, else the core count."""
+    """Worker count: ``REPRO_MAX_WORKERS`` env var, else the cores this
+    process may actually use.
+
+    Containerized CI typically grants far fewer cores than the host
+    exposes: a cgroup CPU quota (``cpu.max``) and/or a restricted
+    affinity mask. Sizing the pool from raw ``os.cpu_count()`` there
+    oversubscribes the workers — every shard/replica time-slices instead
+    of running in parallel — so the effective limit is
+    ``min(affinity mask, ceil(cgroup quota))``.
+    """
     configured = os.environ.get("REPRO_MAX_WORKERS")
     if configured:
         return max(1, int(configured))
-    return os.cpu_count() or 1
+    return available_cpus()
+
+
+def available_cpus() -> int:
+    """CPUs this process can schedule on: affinity mask capped by any
+    cgroup CPU quota (v2 ``cpu.max``, v1 ``cfs_quota_us``)."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux / restricted
+        cpus = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        cpus = min(cpus, quota)
+    return max(1, cpus)
+
+
+def _cgroup_cpu_quota() -> Optional[int]:
+    """Whole-CPU ceiling from the cgroup CPU controller, if any."""
+    try:  # cgroup v2: "max 100000" or "<quota_us> <period_us>"
+        with open("/sys/fs/cgroup/cpu.max") as handle:
+            quota_us, period_us = handle.read().split()[:2]
+        if quota_us != "max" and int(period_us) > 0:
+            return max(1, math.ceil(int(quota_us) / int(period_us)))
+        return None
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # cgroup v1 pair
+        with open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us") as handle:
+            quota_us = int(handle.read())
+        with open("/sys/fs/cgroup/cpu/cpu.cfs_period_us") as handle:
+            period_us = int(handle.read())
+        if quota_us > 0 and period_us > 0:
+            return max(1, math.ceil(quota_us / period_us))
+    except (OSError, ValueError):
+        pass
+    return None
 
 
 def total_events_consumed() -> int:
@@ -104,6 +150,20 @@ def total_layer_counts() -> Dict[str, int]:
     for layer, n in _POOL_LAYERS.items():
         counts[layer] = counts.get(layer, 0) + n
     return counts
+
+
+def absorb_worker_counts(sim_events: int,
+                         layer_events: Optional[Dict[str, int]]) -> None:
+    """Credit kernel events run in an external worker process.
+
+    The shard runtime (:mod:`repro.sim.shard`) drives its own worker
+    processes outside the task pool; it ships each worker's event deltas
+    back through this hook so ``total_events_consumed`` /
+    ``total_layer_counts`` keep covering every execution path.
+    """
+    _POOL_EVENTS[0] += int(sim_events)
+    for layer, n in (layer_events or {}).items():
+        _POOL_LAYERS[layer] = _POOL_LAYERS.get(layer, 0) + n
 
 
 def _timed_call(task: Tuple[int, Callable, Tuple, Dict]) -> TaskResult:

@@ -49,6 +49,8 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig16": fig16_cars.run,
     "fig17a": fig17_scalability.run_resolution,
     "fig17b": fig17_scalability.run_swarm_size,
+    # Mean-field extension of fig17b: 10k-1M devices, zero kernel events.
+    "fig17c": fig17_scalability.run_extended,
     "fig18": fig18_validation.run,
     # Closed-form (app, platform, N) grid — zero kernel events by design.
     "sweep": sweep.run,

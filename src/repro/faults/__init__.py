@@ -26,7 +26,8 @@ streams the workload models own.
 
 from .invariants import InvariantChecker, Violation
 from .injector import FaultInjector
-from .plan import FaultEvent, FaultPlan, named_plan, plan_names
+from .plan import (FaultEvent, FaultPlan, PartitionedPlan,
+                   named_plan, plan_names)
 from .report import RecoveryLog, ResilienceReport
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "RecoveryLog",
     "ResilienceReport",
     "Violation",
+    "PartitionedPlan",
     "named_plan",
     "plan_names",
 ]

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["FaultEvent", "FaultPlan", "named_plan", "plan_names"]
+__all__ = ["FaultEvent", "FaultPlan", "PartitionedPlan", "named_plan",
+           "plan_names"]
 
 #: Every fault kind the injector understands, with the layer it targets.
 KINDS = {
@@ -167,6 +168,94 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- sharded decomposition --------------------------------------------
+    def partition(self, n_devices: int,
+                  cell_devices: int = 64) -> "PartitionedPlan":
+        """Split this plan along the sharded runtime's cell decomposition.
+
+        Device-layer events route to the cell that owns their target
+        (target rewritten to the *local* index inside that cell, matching
+        :func:`repro.sim.shard.plan_cells`). Network-layer events are
+        replicated into every cell — each cell simulates its own slice of
+        the access network, so a link degradation or cloud partition hits
+        all of them. Cluster/serverless events land in the shared
+        ``cloud`` plan, which the coordinating process owns.
+
+        Pure data in, pure data out: the method never touches simulation
+        state, so a plan can be partitioned for any swarm size and the
+        pieces serialized alongside the cells.
+        """
+        if n_devices <= 0:
+            raise ValueError("n_devices must be positive")
+        if cell_devices <= 0:
+            raise ValueError("cell_devices must be positive")
+        cell_devices = min(cell_devices, n_devices)
+        cells: Dict[int, FaultPlan] = {}
+        cloud = FaultPlan(name=f"{self.name}:cloud", seed=self.seed)
+
+        def cell_plan(index: int) -> FaultPlan:
+            if index not in cells:
+                cells[index] = FaultPlan(
+                    name=f"{self.name}:cell{index}", seed=self.seed)
+            return cells[index]
+
+        for event in self.sorted_events():
+            layer = event.layer
+            if layer == "edge":
+                index = int(event.target)
+                if not 0 <= index < n_devices:
+                    raise ValueError(
+                        f"device index {index} outside the swarm "
+                        f"of {n_devices}")
+                local = FaultEvent(
+                    time=event.time, kind=event.kind,
+                    target=str(index % cell_devices),
+                    duration_s=event.duration_s,
+                    magnitude=event.magnitude)
+                cell_plan(index // cell_devices).add(local)
+            elif layer == "network":
+                n_cells = -(-n_devices // cell_devices)
+                for cell in range(n_cells):
+                    cell_plan(cell).add(event)
+            else:  # cluster / serverless — shared backend state.
+                cloud.add(event)
+        return PartitionedPlan(source=self, n_devices=n_devices,
+                               cell_devices=cell_devices, cells=cells,
+                               cloud=cloud)
+
+
+@dataclass(frozen=True)
+class PartitionedPlan:
+    """A :class:`FaultPlan` split along shard-cell ownership lines."""
+
+    source: FaultPlan
+    n_devices: int
+    cell_devices: int
+    #: Cell index -> that cell's local plan (device targets re-indexed;
+    #: network events replicated). Cells with no events are absent.
+    cells: Dict[int, FaultPlan]
+    #: Cluster + serverless events; owned by the coordinating process.
+    cloud: FaultPlan
+
+    def cell(self, index: int) -> FaultPlan:
+        """The plan for one cell (an empty plan when nothing targets it)."""
+        return self.cells.get(
+            index, FaultPlan(name=f"{self.source.name}:cell{index}",
+                             seed=self.source.seed))
+
+    def device_crash_schedule(self) -> List[Tuple[int, float]]:
+        """(global device index, time) crash pairs for
+        :func:`repro.sim.shard.run_sharded`'s ``device_faults``."""
+        schedule = []
+        for event in self.source.sorted_events():
+            if event.kind == "device_crash":
+                schedule.append((int(event.target), event.time))
+        return schedule
+
+    def __len__(self) -> int:
+        return (len(self.cloud)
+                + sum(len(plan) for plan in self.cells.values()))
 
 
 # -- named plans ----------------------------------------------------------

@@ -2,7 +2,8 @@
 
 from .link import Link
 from .rpc import (EdgeCloudRpc, ReliableEdgeRpc, RetryPolicy,
-                  RpcResult, RpcTimeout, SoftwareClusterRpc)
+                  RpcResult, RpcTimeout, SoftwareClusterRpc,
+                  boundary_lookahead)
 from .switch import ClusterNetwork, ToRSwitch
 from .topology import Fabric, build_fabric
 from .wireless import AccessPoint, NetworkPartitioned, WirelessNetwork
@@ -22,4 +23,5 @@ __all__ = [
     "SoftwareClusterRpc",
     "Fabric",
     "build_fabric",
+    "boundary_lookahead",
 ]

@@ -30,7 +30,24 @@ from .switch import ClusterNetwork
 from .wireless import NetworkPartitioned, WirelessNetwork
 
 __all__ = ["RpcResult", "RpcTimeout", "RetryPolicy", "EdgeCloudRpc",
-           "ReliableEdgeRpc", "SoftwareClusterRpc"]
+           "ReliableEdgeRpc", "SoftwareClusterRpc", "boundary_lookahead"]
+
+
+def boundary_lookahead(constants) -> float:
+    """Minimum edge->cloud boundary latency (seconds) for ``constants``.
+
+    No event inside an edge cell can cause an effect at the cloud tier
+    sooner than one uplink propagation (half the wireless base RTT plus
+    one hop) plus the RPC floor through the ToR. This is the conservative
+    lookahead bound of the sharded runtime (:mod:`repro.sim.shard`):
+    shards synchronized at barriers no further apart than this bound can
+    never deliver a cloud-bound message into the cloud shard's past, so
+    any barrier window >= this value is causally safe. ``constants`` is a
+    :class:`~repro.config.PaperConstants` bundle.
+    """
+    wireless = constants.wireless
+    return (wireless.base_rtt_s / 2.0 + wireless.per_hop_latency_s +
+            constants.cluster.tor_latency_s)
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import os
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from ..apps import ScenarioSpec
 from ..cluster import Cluster, FixedPool
@@ -68,7 +68,13 @@ class ScenarioRunner:
                  iaas_baseline_devices: int = 16,
                  passes: int = 1,
                  vector_edge: Optional[bool] = None,
-                 analytic_net: Optional[bool] = None):
+                 analytic_net: Optional[bool] = None,
+                 cloud_boundary: Optional[object] = None,
+                 device_id_base: int = 0,
+                 cloud_budget_cores: Optional[float] = None,
+                 placement_devices: Optional[int] = None,
+                 fail_devices_at: Optional[Sequence[Tuple[int, float]]]
+                 = None):
         self.config = config
         self.scenario = scenario
         self.constants = (constants if n_devices is None
@@ -97,6 +103,42 @@ class ScenarioRunner:
         #: falls back to the legacy Resource-based machinery —
         #: bit-identical results).
         self.analytic_net = analytic_net
+        #: Sharded-mode cloud boundary (see :mod:`repro.sim.shard`): when
+        #: set, this runner simulates one *edge cell* — cloud-bound work
+        #: is recorded as timestamped messages on the boundary instead of
+        #: being served by an in-process platform, and task latencies for
+        #: those messages are resolved later by the cloud shard. None
+        #: (the default) is the unsharded single-process path, untouched.
+        self.cloud_boundary = cloud_boundary
+        if cloud_boundary is not None and config.execution not in (
+                "cloud_faas", "hybrid"):
+            raise ValueError(
+                "cloud_boundary mode requires a cloud-backed platform "
+                f"(got execution={config.execution!r})")
+        if device_id_base < 0:
+            raise ValueError("device_id_base must be non-negative")
+        #: First global device index in this runner's swarm (sharded mode
+        #: gives each cell a disjoint id range so merged results keep
+        #: globally unique device ids).
+        self.device_id_base = device_id_base
+        #: Cloud headroom admitted to this runner's swarm (sharded mode
+        #: hands each cell its population-proportional share of
+        #: :data:`CLOUD_BUDGET_CORES` so the hybrid runtime-remapping
+        #: fraction matches the whole-swarm value).
+        self.cloud_budget_cores = (
+            CLOUD_BUDGET_CORES if cloud_budget_cores is None
+            else cloud_budget_cores)
+        #: Swarm size the DSL compiler sees when placing recognition
+        #: (sharded mode passes the *global* device count so every cell
+        #: compiles the same whole-swarm placement).
+        self.placement_devices = placement_devices
+        #: Scheduled device failures ((local index, time) pairs) — the
+        #: multi-device generalization of ``fail_device_at``, used by the
+        #: shard runtime to apply a partitioned fault plan per cell.
+        self.fail_devices_at = list(fail_devices_at or ())
+        self._st: Optional[Dict[str, object]] = None
+        self._finished = False
+        self._makespan = 0.0
 
     # -- defaults -------------------------------------------------------------
     def _default_retraining(self) -> RetrainingMode:
@@ -126,7 +168,21 @@ class ScenarioRunner:
 
     # -- run ------------------------------------------------------------
     def run(self) -> RunResult:
+        """The whole mission in one call (the established interface).
+
+        Equivalent to ``start()`` + ``advance_to(inf)`` + ``finish()``;
+        the incremental phases exist so the sharded runtime can step many
+        cells in conservative lookahead windows (:mod:`repro.sim.shard`).
+        The event sequence is identical either way.
+        """
+        self.start()
+        self.advance_to(float("inf"))
+        return self.finish()
+
+    def start(self) -> None:
+        """Build the world and schedule the mission; dispatch no events."""
         env = Environment()
+        boundary = self.cloud_boundary
         engine = SwarmEngine(env) if self.vector_edge else None
         streams = RandomStreams(self.seed)
         constants = self.constants
@@ -149,7 +205,8 @@ class ScenarioRunner:
 
         # Swarm.
         drones = [
-            Drone(env, f"drone{i:04d}", constants.drone,
+            Drone(env, f"drone{self.device_id_base + i:04d}",
+                  constants.drone,
                   rng=streams.stream(f"scenario.drone{i}"),
                   frame_mb=self.frame_mb, fps=self.fps)
             for i in range(constants.drone.count)
@@ -175,7 +232,11 @@ class ScenarioRunner:
         mitigator = None
         pool = None
         execution = self.config.execution
-        if execution in ("cloud_faas", "hybrid"):
+        if boundary is not None:
+            # Sharded cell: the cloud tier lives in the cloud shard; this
+            # runner only records cloud-bound messages on the boundary.
+            pass
+        elif execution in ("cloud_faas", "hybrid"):
             cluster = Cluster(env, constants.cluster)
             remote_memory = (RemoteMemoryFabric(env, constants.accel)
                              if self.config.remote_mem else None)
@@ -215,7 +276,8 @@ class ScenarioRunner:
         if execution == "hybrid":
             graph, directives = self.scenario.dsl_graph()
             compiler = HiveMindCompiler(
-                constants, n_devices=len(drones),
+                constants,
+                n_devices=self.placement_devices or len(drones),
                 accelerated=self.config.net_accel)
             recognition_tier = compiler.compile(
                 graph, directives).placement.tier_of("recognition")
@@ -228,7 +290,7 @@ class ScenarioRunner:
         cloud_fraction = 1.0
         if execution == "hybrid" and recognition_tier == "cloud":
             demand_cores = len(drones) * app.cloud_service_s
-            cloud_fraction = min(1.0, CLOUD_BUDGET_CORES / demand_cores)
+            cloud_fraction = min(1.0, self.cloud_budget_cores / demand_cores)
 
         # Fault tolerance (global-view platforms only).
         detector = None
@@ -237,6 +299,8 @@ class ScenarioRunner:
             detector = FailureDetector(env, swarm, constants.control)
         if self.fail_device_at is not None:
             index, at_time = self.fail_device_at
+            swarm.fail_device_at(drones[index].device_id, at_time)
+        for index, at_time in self.fail_devices_at:
             swarm.fail_device_at(drones[index].device_id, at_time)
 
         # Metrics + scenario state.
@@ -294,6 +358,19 @@ class ScenarioRunner:
             device.account_tx(TX_DUTY * push.total_s)
             breakdown.charge("network", push.total_s)
             intrinsic = app.sample_cloud_service(rng)
+            if boundary is not None:
+                # Sharded cell: the upload has crossed the boundary; hand
+                # the cloud shard a timestamped message carrying every
+                # service-time draw it needs (drawn *here*, from this
+                # cell's streams, so the cloud side stays deterministic
+                # at any shard count). The returned ticket is finalized
+                # by handle_batch once the edge side of the task is done.
+                dedup_s = (self.scenario.dedup.sample_cloud_service(rng)
+                           if dedup_spec is not None else None)
+                return boundary.submit(
+                    device_id=device.device_id, arrival_s=env.now,
+                    recognition_s=intrinsic, dedup_s=dedup_s,
+                    input_mb=upload_mb, output_mb=app.output_mb)
             if platform is not None:
                 request = InvocationRequest(
                     spec=recognition_spec, service_s=intrinsic,
@@ -375,6 +452,7 @@ class ScenarioRunner:
         def handle_batch(device: Drone, batch: FrameBatch) -> Generator:
             start = env.now
             breakdown = LatencyBreakdown()
+            ticket = None
             trace = obs.root_span("task", "task", env.now,
                                   scenario=self.scenario.key,
                                   device=device.device_id,
@@ -392,6 +470,8 @@ class ScenarioRunner:
                 if to_cloud:
                     parent = yield from recognition_cloud(
                         device, batch, breakdown, trace=trace)
+                    if boundary is not None:
+                        ticket, parent = parent, None
                     if parent is not None:
                         yield from persist_output(
                             "recognition",
@@ -400,11 +480,31 @@ class ScenarioRunner:
                 else:
                     parent = yield from recognition_edge(device, breakdown,
                                                          trace=trace)
+                    if boundary is not None and dedup_spec is not None:
+                        # The aggregate stage still runs at the cloud tier
+                        # for edge-executed recognition: ship a dedup-only
+                        # message (no recognition stage) across the
+                        # boundary, mirroring aggregate_stage's no-parent
+                        # invocation shape.
+                        ticket = boundary.submit(
+                            device_id=device.device_id, arrival_s=env.now,
+                            recognition_s=None,
+                            dedup_s=self.scenario.dedup.sample_cloud_service(
+                                rng),
+                            input_mb=0.1, output_mb=0.05)
                 record_sightings(device, batch)
                 yield from aggregate_stage(parent, breakdown, trace=trace)
                 yield obstacle  # join the Parallel branch
-                latencies.add(env.now - start, time=start)
-                breakdowns.add(breakdown)
+                if ticket is not None:
+                    # Deferred task: the cloud half runs in the cloud
+                    # shard; the merge layer joins both halves into the
+                    # final latency/breakdown row (canonical order).
+                    ticket.start_s = start
+                    ticket.edge_done_s = env.now
+                    ticket.edge_breakdown = breakdown.as_dict()
+                else:
+                    latencies.add(env.now - start, time=start)
+                    breakdowns.add(breakdown)
             finally:
                 trace.close(env.now)
                 pending["count"] -= 1
@@ -451,40 +551,117 @@ class ScenarioRunner:
             while pending["count"] > 0:
                 yield env.timeout(0.5)
 
-        env.run(env.process(orchestrate()))
-        makespan = env.now
-        for device in drones:
-            device.finalize_mission(makespan)
+        done = env.process(orchestrate())
 
-        uncovered = self._uncovered_regions(swarm, drones)
+        def mark_done(event) -> None:
+            self._makespan = env.now
+            self._finished = True
+
+        # mark_done must precede the stop callback: StopSimulation
+        # propagates out of the dispatch loop immediately, so callbacks
+        # appended after the raising one would never run.
+        done.callbacks.append(mark_done)
+        done.callbacks.append(env._stop_callback)
+
+        self._st = {
+            "env": env, "drones": drones, "swarm": swarm,
+            "detector": detector, "platform": platform, "fabric": fabric,
+            "latencies": latencies, "breakdowns": breakdowns,
+            "persist_counter": persist_counter, "recognizer": recognizer,
+            "dedup": dedup, "found_items": found_items,
+            "n_targets": n_targets, "recognition_tier": recognition_tier,
+            "cloud_fraction": cloud_fraction, "completed": completed,
+        }
+
+    @property
+    def now(self) -> float:
+        """Current simulated time of the cell's kernel."""
+        if self._st is None:
+            raise RuntimeError("start() has not been called")
+        return self._st["env"].now
+
+    @property
+    def finished(self) -> bool:
+        """True once the mission has completed and drained."""
+        return self._finished
+
+    @property
+    def makespan(self) -> float:
+        """Mission completion time (valid once :attr:`finished`)."""
+        return self._makespan
+
+    def advance_to(self, until: float) -> None:
+        """Dispatch events up to simulated time ``until``.
+
+        ``float('inf')`` runs to mission completion (the whole-run path);
+        the sharded driver instead calls this with successive barrier
+        times. No-op once the mission has drained.
+        """
+        if self._st is None:
+            raise RuntimeError("start() has not been called")
+        if self._finished:
+            return
+        env = self._st["env"]
+        if until == float("inf"):
+            env.run()
+            if not self._finished:
+                raise RuntimeError(
+                    "event queue drained before the mission completed")
+        elif until > env.now:
+            env.run(until=until)
+
+    def finish(self,
+               duration_override: Optional[float] = None) -> RunResult:
+        """Finalize mission accounting and build the :class:`RunResult`.
+
+        ``duration_override`` lets the sharded driver stretch the
+        accounting horizon to the *global* makespan (the last cloud-side
+        completion across every cell), so hover/idle energy is charged
+        over the same window in every cell regardless of which one
+        finished flying first.
+        """
+        st = self._st
+        if st is None or not self._finished:
+            raise RuntimeError("finish() before the mission completed")
+        makespan = self._makespan
+        duration = (makespan if duration_override is None
+                    else max(makespan, float(duration_override)))
+        drones = st["drones"]
+        for device in drones:
+            device.finalize_mission(duration)
+
+        completed = st["completed"]
+        uncovered = self._uncovered_regions(st["swarm"], drones)
         if uncovered:
             completed["all"] = False
 
+        detector = st["detector"]
+        platform = st["platform"]
         extras: Dict[str, object] = {
             "makespan_s": makespan,
-            "targets": n_targets,
-            "recognition_tier": recognition_tier,
-            "cloud_fraction": cloud_fraction,
-            "persisted_documents": persist_counter["count"],
-            "tally": recognizer.tally,
+            "targets": st["n_targets"],
+            "recognition_tier": st["recognition_tier"],
+            "cloud_fraction": st["cloud_fraction"],
+            "persisted_documents": st["persist_counter"]["count"],
+            "tally": st["recognizer"].tally,
             "failed_devices": (detector.failed if detector is not None
                                else [d.device_id for d in drones
                                      if not d.alive]),
         }
         if self.scenario.moving_targets:
-            extras["unique_people"] = dedup.unique_count
+            extras["unique_people"] = st["dedup"].unique_count
         else:
-            extras["items_found"] = len(found_items)
+            extras["items_found"] = len(st["found_items"])
         if platform is not None:
             extras["cold_starts"] = platform.cold_starts
         return RunResult(
             platform=self.config.name,
             workload=self.scenario.key,
-            task_latencies=latencies,
-            breakdowns=breakdowns,
+            task_latencies=st["latencies"],
+            breakdowns=st["breakdowns"],
             energy_accounts=[d.energy for d in drones],
-            wireless_meter=fabric.wireless_meter,
-            duration_s=makespan,
+            wireless_meter=st["fabric"].wireless_meter,
+            duration_s=duration,
             completed=completed["all"],
             extras=extras,
         )

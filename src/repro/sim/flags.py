@@ -29,6 +29,8 @@ __all__ = [
     "analytic_net_enabled",
     "fast_dispatch_enabled",
     "batched_rng_enabled",
+    "shard_count",
+    "meanfield_enabled",
 ]
 
 
@@ -56,3 +58,34 @@ def fast_dispatch_enabled(override: Optional[bool] = None) -> bool:
 def batched_rng_enabled(override: Optional[bool] = None) -> bool:
     """Resolve the RNG draw-ahead flag (``REPRO_BATCHED_RNG``)."""
     return _enabled("REPRO_BATCHED_RNG", override)
+
+
+def shard_count(override: Optional[int] = None) -> int:
+    """Resolve the intra-run shard count (``REPRO_SHARDS``).
+
+    Unlike the boolean fast paths this one defaults to **off** (1 shard
+    = the unsharded single-process runner, byte-identical to the seed);
+    ``REPRO_SHARDS=N`` or an explicit ``--shards N`` arms the sharded
+    cell-decomposed runtime of :mod:`repro.sim.shard`.
+    """
+    if override is not None:
+        if override < 1:
+            raise ValueError("shard count must be at least 1")
+        return int(override)
+    configured = os.environ.get("REPRO_SHARDS", "")
+    if not configured:
+        return 1
+    count = int(configured)
+    return count if count >= 1 else 1
+
+
+def meanfield_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the mean-field aggregate-cell flag (``REPRO_MEANFIELD``).
+
+    Defaults to **off**: exact simulation stays the source of truth;
+    ``REPRO_MEANFIELD=1`` (or ``--meanfield``) collapses homogeneous
+    cells into the population model of :mod:`repro.edge.meanfield`.
+    """
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_MEANFIELD", "0") == "1"

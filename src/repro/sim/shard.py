@@ -1,0 +1,577 @@
+"""Sharded swarm execution: cell decomposition + conservative time sync.
+
+The unsharded :class:`~repro.platforms.scenario_runner.ScenarioRunner`
+steps the whole swarm inside one kernel in one process, which caps fig17
+reproduction at ~1k devices. This module scales the same scenario out by
+decomposing the swarm into fixed-size **cells** — disjoint groups of
+devices, each flying its own slice of the (linearly scaled) field inside
+its own :class:`~repro.sim.Environment` — and one **cloud shard**
+(:class:`~repro.serverless.gateway.CloudGateway`) running the shared
+backend. Shards are merely *scheduling groups of cells* spread over
+worker processes; the semantic unit is the cell.
+
+Determinism contract (the PR 1 seed-by-replica pattern, applied within a
+run):
+
+- The cell decomposition depends only on ``(n_devices, cell_devices)``,
+  never on the shard count.
+- Cell ``k`` seeds its streams with ``seed + 1000 * k`` and simulates an
+  identical world no matter which worker runs it.
+- Cloud-bound messages carry their service-time draws with them and are
+  merged in canonical ``(arrival_s, cell, seq)`` order before the cloud
+  shard sees them; the cloud shard draws only from its own offset
+  namespace.
+- Result rows are merged in canonical order, so the final
+  :class:`~repro.platforms.base.RunResult` is **byte-identical at any
+  shard count** (1, 2, 4, ... workers — same bytes, different
+  wall-clock).
+
+Time synchronization is conservative: all cells advance to a barrier
+time ``t`` before the cloud shard advances past ``t - w`` (one window
+``w`` behind), and ``w`` is never smaller than
+:func:`~repro.network.rpc.boundary_lookahead` — the minimum edge→cloud
+latency — so no message can ever arrive in the cloud shard's past. The
+scenario task graphs have no cloud→edge data edge (only the final
+synchronization barrier joins the tiers), so the reverse direction needs
+no lookahead at all and the window can be made much larger than the
+physical bound for efficiency; ``REPRO_SHARD_WINDOW`` tunes it.
+
+The unarmed path (``REPRO_SHARDS`` unset / ``shards`` not given) never
+enters this module: experiments fall through to the unsharded runner,
+byte-identical to the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..config import DEFAULT, PaperConstants
+from ..network import boundary_lookahead
+from ..platforms.base import PlatformConfig, RunResult
+from ..platforms.scenario_runner import CLOUD_BUDGET_CORES, ScenarioRunner
+from ..serverless.gateway import CloudGateway
+from ..telemetry import (BandwidthMeter, BreakdownAggregate,
+                         LatencyBreakdown, MetricSeries)
+from . import kernel
+from .accounting import layer_counts
+
+__all__ = ["CellSpec", "CloudCall", "CellBoundary", "plan_cells",
+           "run_sharded", "DEFAULT_CELL_DEVICES", "DEFAULT_WINDOW_S"]
+
+#: Devices per cell: matches the granularity at which HiveMind itself
+#: scales out shared-state schedulers (one controller per 64 devices, see
+#: ``ScenarioRunner._n_controllers``), so a cell is one controller's
+#: worth of swarm.
+DEFAULT_CELL_DEVICES = 64
+
+#: Default barrier window (simulated seconds). Correctness only requires
+#: ``window >= boundary_lookahead`` (~13 ms); the large default amortizes
+#: barrier IPC because the scenario dataflow is strictly edge→cloud.
+#: Part of the model configuration: results are invariant to the shard
+#: count at a *fixed* window, not across window sizes.
+DEFAULT_WINDOW_S = 60.0
+
+#: Hard ceiling on simulated time before the barrier loop declares the
+#: mission hung (no scenario comes near this horizon).
+MAX_HORIZON_S = 1e8
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the decomposed swarm (pure data, picklable)."""
+
+    index: int
+    n_devices: int
+    device_id_base: int
+    seed: int
+    #: This cell's population-proportional share of the cloud compute
+    #: budget, so the hybrid runtime-remapping fraction matches the
+    #: whole-swarm value.
+    cloud_budget_cores: float
+    #: Scheduled device failures local to this cell:
+    #: (cell-local device index, time) pairs.
+    fail_devices_at: Tuple[Tuple[int, float], ...] = ()
+
+
+@dataclass
+class CloudCall:
+    """One cloud-bound message crossing the cell/cloud boundary.
+
+    The edge half fills the submit-time fields (including every
+    service-time draw the cloud side will need, taken from the cell's
+    own streams); the cloud shard fills ``completion_s`` and
+    ``cloud_breakdown``; the cell later fills the edge-completion fields
+    when its local task wrapper (obstacle-avoidance join) finishes. The
+    merge layer joins both halves into one result row.
+    """
+
+    cell: int
+    seq: int
+    device_id: str
+    arrival_s: float
+    #: Cloud recognition service draw; None for dedup-only messages
+    #: (edge-executed recognition whose aggregation is still cloud-side).
+    recognition_s: Optional[float]
+    dedup_s: Optional[float]
+    input_mb: float
+    output_mb: float
+    # -- edge half (filled at the obstacle join) -----------------------
+    start_s: Optional[float] = None
+    edge_done_s: Optional[float] = None
+    edge_breakdown: Optional[Dict[str, float]] = None
+    # -- cloud half (filled by the gateway) ----------------------------
+    completion_s: Optional[float] = None
+    cloud_breakdown: Optional[Dict[str, float]] = None
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.arrival_s, self.cell, self.seq)
+
+
+class CellBoundary:
+    """The cell side of the edge/cloud boundary.
+
+    :class:`~repro.platforms.scenario_runner.ScenarioRunner` calls
+    :meth:`submit` instead of invoking an in-process platform; the shard
+    driver drains :meth:`take_fresh` at each barrier.
+    """
+
+    def __init__(self, cell: int):
+        self.cell = cell
+        self._seq = 0
+        self.calls: List[CloudCall] = []
+        self._fresh: List[CloudCall] = []
+
+    def submit(self, device_id: str, arrival_s: float,
+               recognition_s: Optional[float], dedup_s: Optional[float],
+               input_mb: float, output_mb: float) -> CloudCall:
+        call = CloudCall(
+            cell=self.cell, seq=self._seq, device_id=device_id,
+            arrival_s=arrival_s, recognition_s=recognition_s,
+            dedup_s=dedup_s, input_mb=input_mb, output_mb=output_mb)
+        self._seq += 1
+        self.calls.append(call)
+        self._fresh.append(call)
+        return call
+
+    def take_fresh(self) -> List[CloudCall]:
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+
+def plan_cells(n_devices: int, seed: int = 0,
+               cell_devices: int = DEFAULT_CELL_DEVICES,
+               device_faults: Sequence[Tuple[int, float]] = ()
+               ) -> List[CellSpec]:
+    """Decompose ``n_devices`` into cells (shard-count independent).
+
+    ``device_faults`` is a sequence of (global device index, time) crash
+    schedules, partitioned onto the owning cells.
+    """
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    if cell_devices <= 0:
+        raise ValueError("cell_devices must be positive")
+    cell_devices = min(cell_devices, n_devices)
+    n_cells = math.ceil(n_devices / cell_devices)
+    by_cell: Dict[int, List[Tuple[int, float]]] = {}
+    for index, at_time in device_faults:
+        if not 0 <= index < n_devices:
+            raise ValueError(f"device index {index} outside the swarm")
+        by_cell.setdefault(index // cell_devices, []).append(
+            (index % cell_devices, at_time))
+    specs = []
+    for cell in range(n_cells):
+        base = cell * cell_devices
+        count = min(cell_devices, n_devices - base)
+        specs.append(CellSpec(
+            index=cell, n_devices=count, device_id_base=base,
+            seed=seed + 1000 * cell,
+            cloud_budget_cores=CLOUD_BUDGET_CORES * count / n_devices,
+            fail_devices_at=tuple(by_cell.get(cell, ()))))
+    return specs
+
+
+# -- cell worker (runs in a shard process or in-process) ----------------
+
+def _build_cell(config: PlatformConfig, scenario, spec: CellSpec,
+                constants: PaperConstants, total_devices: int,
+                runner_kwargs: Dict) -> Tuple[ScenarioRunner, CellBoundary]:
+    boundary = CellBoundary(spec.index)
+    runner = ScenarioRunner(
+        config, scenario, constants=constants,
+        n_devices=spec.n_devices, seed=spec.seed,
+        cloud_boundary=boundary,
+        device_id_base=spec.device_id_base,
+        cloud_budget_cores=spec.cloud_budget_cores,
+        placement_devices=total_devices,
+        fail_devices_at=spec.fail_devices_at,
+        **runner_kwargs)
+    runner.start()
+    return runner, boundary
+
+
+def _worker_main(conn, config: PlatformConfig, scenario,
+                 specs: List[CellSpec], constants: PaperConstants,
+                 total_devices: int, runner_kwargs: Dict) -> None:
+    """Shard worker loop: build my cells, then serve barrier commands.
+
+    Protocol (parent -> worker): ``("advance", t)`` steps every cell to
+    barrier ``t`` and replies ``("calls", fresh_calls, status)`` where
+    ``status`` maps cell index to its makespan once finished;
+    ``("finish", duration)`` finalizes every cell and replies
+    ``("result", payload)`` with the cells' RunResults, complete call
+    ledgers, shipped spans, and kernel-event deltas, then exits.
+    """
+    tracer = obs.active_tracer()
+    spans_before = len(tracer) if tracer is not None else 0
+    events_before = kernel.events_consumed()
+    layers_before = layer_counts()
+    cells = [(spec, *_build_cell(config, scenario, spec, constants,
+                                 total_devices, runner_kwargs))
+             for spec in specs]
+    try:
+        while True:
+            command, argument = conn.recv()
+            if command == "advance":
+                status = {}
+                fresh: List[CloudCall] = []
+                for spec, runner, boundary in cells:
+                    runner.advance_to(argument)
+                    fresh.extend(boundary.take_fresh())
+                    if runner.finished:
+                        status[spec.index] = runner.makespan
+                conn.send(("calls", fresh, status))
+            elif command == "finish":
+                layers_after = layer_counts()
+                payload = {
+                    "results": [(spec.index,
+                                 runner.finish(duration_override=argument),
+                                 boundary.calls)
+                                for spec, runner, boundary in cells],
+                    "sim_events": kernel.events_consumed() - events_before,
+                    "layer_events": {
+                        layer: layers_after[layer] - layers_before[layer]
+                        for layer in layers_after},
+                    "spans": (tuple(tracer.take_from(spans_before))
+                              if tracer is not None else None),
+                }
+                conn.send(("result", payload))
+                return
+            else:
+                raise RuntimeError(f"unknown shard command {command!r}")
+    except (EOFError, KeyboardInterrupt):
+        return
+
+
+class _Shard:
+    """Driver-side handle for one scheduling group of cells.
+
+    Runs its cells in a worker process when one can be spawned, falling
+    back to in-process execution otherwise (sandboxes and test
+    environments routinely forbid ``fork``; both paths produce the same
+    bytes, see the module determinism contract).
+    """
+
+    def __init__(self, specs: List[CellSpec], config, scenario,
+                 constants, total_devices: int, runner_kwargs: Dict,
+                 in_process: bool):
+        self.specs = specs
+        self._conn = None
+        self._process = None
+        self._cells = None
+        if not in_process:
+            import multiprocessing
+            try:
+                parent_conn, child_conn = multiprocessing.Pipe()
+                process = multiprocessing.Process(
+                    target=_worker_main,
+                    args=(child_conn, config, scenario, specs, constants,
+                          total_devices, runner_kwargs),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._conn = parent_conn
+                self._process = process
+            except (OSError, ValueError):
+                self._conn = None  # no fork/spawn available here
+        if self._conn is None:
+            self._cells = [
+                (spec, *_build_cell(config, scenario, spec, constants,
+                                    total_devices, runner_kwargs))
+                for spec in specs]
+
+    @property
+    def in_process(self) -> bool:
+        return self._cells is not None
+
+    def send_advance(self, until: float) -> None:
+        if self._conn is not None:
+            self._conn.send(("advance", until))
+
+    def collect_advance(self, until: float
+                        ) -> Tuple[List[CloudCall], Dict[int, float]]:
+        if self._conn is not None:
+            kind, fresh, status = self._conn.recv()
+            assert kind == "calls"
+            return fresh, status
+        status = {}
+        fresh: List[CloudCall] = []
+        for spec, runner, boundary in self._cells:
+            runner.advance_to(until)
+            fresh.extend(boundary.take_fresh())
+            if runner.finished:
+                status[spec.index] = runner.makespan
+        return fresh, status
+
+    def send_finish(self, duration: float) -> None:
+        if self._conn is not None:
+            self._conn.send(("finish", duration))
+
+    def collect_finish(self, duration: float) -> Dict:
+        if self._conn is not None:
+            kind, payload = self._conn.recv()
+            assert kind == "result"
+            self._conn.close()
+            self._process.join(timeout=60)
+            return payload
+        return {
+            "results": [(spec.index,
+                         runner.finish(duration_override=duration),
+                         boundary.calls)
+                        for spec, runner, boundary in self._cells],
+            # In-process cells dispatch on this process's kernel counters,
+            # which total_events_consumed() already covers.
+            "sim_events": 0,
+            "layer_events": {},
+            "spans": None,  # already on this process's tracer
+        }
+
+
+# -- merge helpers ------------------------------------------------------
+
+def _merge_latencies(results: List[Tuple[int, RunResult, List[CloudCall]]],
+                     name: str) -> Tuple[MetricSeries, BreakdownAggregate]:
+    """Join edge/cloud task halves and merge all rows in canonical order.
+
+    Canonical row order is ``(start time, cell, within-cell position)``
+    with deferred (cloud-completing) rows positioned after the cell's
+    local rows — a pure function of the cell decomposition, so the
+    merged series is identical at any shard count.
+    """
+    rows = []
+    for cell, result, calls in results:
+        series = result.task_latencies
+        values, times = series.values, series.times
+        for position in range(len(series)):
+            rows.append((float(times[position]), cell, position,
+                         float(values[position]), None))
+        for call in calls:
+            if call.start_s is None or call.completion_s is None:
+                continue  # task never completed (e.g. device died mid-run)
+            latency = max(call.edge_done_s, call.completion_s) - call.start_s
+            breakdown = (LatencyBreakdown(**call.edge_breakdown) +
+                         LatencyBreakdown(**call.cloud_breakdown))
+            rows.append((call.start_s, cell, 10 ** 9 + call.seq,
+                         latency, breakdown))
+    rows.sort(key=lambda row: row[:3])
+    # A cell's local breakdown records were appended in lockstep with its
+    # latency samples (handle_batch adds both together), so local row
+    # ``position`` maps straight to ``_records[position]``.
+    local_records = {cell: result.breakdowns._records
+                     for cell, result, _ in results}
+    latencies = MetricSeries(name)
+    breakdowns = BreakdownAggregate()
+    for time, cell, position, value, breakdown in rows:
+        latencies.add(value, time=time)
+        if breakdown is None:
+            breakdown = local_records[cell][position]
+        breakdowns.add(breakdown)
+    return latencies, breakdowns
+
+
+def _merge_extras(results, gateway: CloudGateway, makespan: float,
+                  window_s: float, shards: int,
+                  workers: int) -> Tuple[Dict, bool]:
+    ordered = [result for _, result, _ in results]
+    from ..learning.accuracy import DetectionTally
+    tally = DetectionTally()
+    for result in ordered:
+        cell_tally = result.extras.get("tally")
+        if cell_tally is not None:
+            tally.correct += cell_tally.correct
+            tally.false_negatives += cell_tally.false_negatives
+            tally.false_positives += cell_tally.false_positives
+            tally.true_negatives += cell_tally.true_negatives
+    failed: List[str] = []
+    for result in ordered:
+        failed.extend(result.extras.get("failed_devices", []))
+    first = ordered[0].extras
+    extras: Dict[str, object] = {
+        "makespan_s": makespan,
+        "targets": sum(r.extras["targets"] for r in ordered),
+        "recognition_tier": first["recognition_tier"],
+        "cloud_fraction": first["cloud_fraction"],
+        "persisted_documents": gateway.persisted_documents,
+        "tally": tally,
+        "failed_devices": failed,
+        "cold_starts": gateway.cold_starts,
+        "cells": len(ordered),
+        "shards": shards,
+        "shard_workers": workers,
+        "window_s": window_s,
+        "cloud_completions": gateway.completions,
+        "cloud_makespan_s": gateway.last_completion_s,
+    }
+    if "unique_people" in first:
+        extras["unique_people"] = sum(
+            r.extras["unique_people"] for r in ordered)
+    else:
+        extras["items_found"] = sum(
+            r.extras["items_found"] for r in ordered)
+    completed = all(r.completed for r in ordered)
+    return extras, completed
+
+
+# -- driver -------------------------------------------------------------
+
+def resolve_window(constants: PaperConstants,
+                   window_s: Optional[float] = None) -> float:
+    """Barrier window: configured value clamped to the causal minimum."""
+    if window_s is None:
+        configured = os.environ.get("REPRO_SHARD_WINDOW", "")
+        window_s = float(configured) if configured else DEFAULT_WINDOW_S
+    if window_s <= 0:
+        raise ValueError("barrier window must be positive")
+    return max(window_s, boundary_lookahead(constants))
+
+
+def run_sharded(config: PlatformConfig, scenario, n_devices: int,
+                seed: int = 0, shards: int = 1,
+                cell_devices: int = DEFAULT_CELL_DEVICES,
+                window_s: Optional[float] = None,
+                constants: PaperConstants = DEFAULT,
+                device_faults: Sequence[Tuple[int, float]] = (),
+                **runner_kwargs) -> RunResult:
+    """Run one scenario with the swarm decomposed into cells over
+    ``shards`` worker processes; returns a merged :class:`RunResult`
+    byte-identical at any ``shards`` value.
+
+    ``runner_kwargs`` pass through to every cell's
+    :class:`~repro.platforms.scenario_runner.ScenarioRunner` (e.g.
+    ``frame_mb``, ``fps``, ``passes``, ``vector_edge``,
+    ``analytic_net``). ``device_faults`` is a partitioned fault plan's
+    device-crash schedule as (global index, time) pairs — see
+    :meth:`repro.faults.FaultPlan.partition`.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if config.execution not in ("cloud_faas", "hybrid"):
+        raise ValueError(
+            "sharded execution requires a cloud-backed platform "
+            f"(got execution={config.execution!r})")
+    specs = plan_cells(n_devices, seed=seed, cell_devices=cell_devices,
+                       device_faults=device_faults)
+    shards = min(shards, len(specs))
+    global_constants = constants.scaled_for_swarm(n_devices)
+    window = resolve_window(global_constants, window_s)
+    analytic = runner_kwargs.get("analytic_net")
+    gateway = CloudGateway(config, scenario, global_constants,
+                           n_devices=n_devices, seed=seed,
+                           analytic=analytic)
+
+    # Worker processes are capped by the cgroup-aware core count: on a
+    # quota-limited container extra processes cannot add wall-clock and
+    # only pay fork + pickle overhead, so shard *scheduling groups*
+    # collapse onto min(shards, cores) processes (one → in-process).
+    # Results are unaffected — cells are the semantic unit and simulate
+    # identically wherever they are scheduled.
+    from ..experiments.parallel import default_workers
+    workers = max(1, min(shards, default_workers()))
+    groups: List[List[CellSpec]] = [[] for _ in range(workers)]
+    for position, spec in enumerate(specs):
+        groups[position % workers].append(spec)
+    shard_handles = [
+        _Shard(group, config, scenario, constants, n_devices,
+               runner_kwargs, in_process=(workers == 1))
+        for group in groups]
+
+    # Barrier loop: cells to t, exchange, cloud to t.
+    finished: Dict[int, float] = {}
+    fed_calls: List[CloudCall] = []
+    barrier = 0.0
+    while len(finished) < len(specs):
+        barrier += window
+        if barrier > MAX_HORIZON_S:
+            raise RuntimeError(
+                f"mission not finished by t={barrier:.0f}s; "
+                "sharded barrier loop aborted")
+        for handle in shard_handles:
+            handle.send_advance(barrier)
+        batch: List[CloudCall] = []
+        for handle in shard_handles:
+            fresh, status = handle.collect_advance(barrier)
+            batch.extend(fresh)
+            finished.update(status)
+        batch.sort(key=lambda call: call.sort_key)
+        gateway.feed(batch)
+        fed_calls.extend(batch)
+        gateway.advance_to(barrier)
+
+    cloud_done = gateway.drain()
+    makespan = max(max(finished.values()), cloud_done)
+
+    tracer = obs.active_tracer()
+    for handle in shard_handles:
+        handle.send_finish(makespan)
+    results: List[Tuple[int, RunResult, List[CloudCall]]] = []
+    for handle in shard_handles:
+        payload = handle.collect_finish(makespan)
+        results.extend(payload["results"])
+        if payload["sim_events"]:
+            from ..experiments.parallel import absorb_worker_counts
+            absorb_worker_counts(payload["sim_events"],
+                                 payload["layer_events"])
+        if payload["spans"] and tracer is not None:
+            # Re-home worker spans under the shard's first cell index
+            # (the PR 5 replica-tagging pattern across processes).
+            tracer.absorb(payload["spans"],
+                          replica=handle.specs[0].index)
+    results.sort(key=lambda item: item[0])
+
+    # Worker-side call copies carry the edge half; the gateway finalized
+    # the cloud half on the driver's copies. Join them by (cell, seq)
+    # (a no-op for in-process shards, where both are the same object).
+    cloud_half = {(call.cell, call.seq): call for call in fed_calls}
+    for _, _, calls in results:
+        for call in calls:
+            done = cloud_half.get((call.cell, call.seq))
+            if done is not None and done is not call:
+                call.completion_s = done.completion_s
+                call.cloud_breakdown = done.cloud_breakdown
+
+    name = f"{scenario.key}.{config.name}"
+    latencies, breakdowns = _merge_latencies(results, name)
+    meter = BandwidthMeter("wireless")
+    for _, result, _ in results:
+        for time, megabytes in result.wireless_meter.events:
+            meter.record(time, megabytes)
+    energy = [account for _, result, _ in results
+              for account in result.energy_accounts]
+    extras, completed = _merge_extras(results, gateway, makespan,
+                                      window, shards, workers)
+    return RunResult(
+        platform=config.name,
+        workload=scenario.key,
+        task_latencies=latencies,
+        breakdowns=breakdowns,
+        energy_accounts=energy,
+        wireless_meter=meter,
+        duration_s=makespan,
+        completed=completed,
+        extras=extras,
+    )

@@ -74,3 +74,61 @@ class TestFaultPlan:
                          "server_crash")
         faults = [e for e in plan.events if e.kind == "function_faults"]
         assert faults[0].magnitude == pytest.approx(0.20)
+
+
+class TestPartition:
+    def build(self):
+        plan = FaultPlan(name="storm", seed=3)
+        plan.device_crash(10.0, "70")
+        plan.battery_brownout(20.0, "3", 0.9)
+        plan.link_degrade(5.0, 30.0, 0.5)
+        plan.server_crash(8.0, "server0")
+        plan.couchdb_outage(40.0, 5.0)
+        return plan
+
+    def test_device_events_route_to_owning_cell(self):
+        part = self.build().partition(256, cell_devices=64)
+        cell1 = [e for e in part.cell(1).events
+                 if e.kind == "device_crash"]
+        assert cell1[0].target == "6"  # 70 -> cell 1, local index 6
+        cell0 = [e for e in part.cell(0).events
+                 if e.kind == "battery_brownout"]
+        assert cell0[0].target == "3"
+        assert cell0[0].magnitude == pytest.approx(0.9)
+
+    def test_network_events_replicated_per_cell(self):
+        part = self.build().partition(256, cell_devices=64)
+        for cell in range(4):
+            degrades = [e for e in part.cell(cell).events
+                        if e.kind == "link_degrade"]
+            assert len(degrades) == 1
+
+    def test_cloud_plan_owns_backend_layers(self):
+        part = self.build().partition(256, cell_devices=64)
+        assert part.cloud.kinds() == ("couchdb_outage", "server_crash")
+        for plan in part.cells.values():
+            assert not any(e.layer in ("cluster", "serverless")
+                           for e in plan.events)
+
+    def test_crash_schedule_feeds_run_sharded(self):
+        part = self.build().partition(256, cell_devices=64)
+        assert part.device_crash_schedule() == [(70, 10.0)]
+
+    def test_counts_and_empty_cells(self):
+        part = self.build().partition(256, cell_devices=64)
+        # 2 device events + 4 replicated network + 2 cloud
+        assert len(part) == 8
+        assert len(part.cell(3).events) == 1  # only the replicated degrade
+        missing = part.cell(2)
+        assert [e.kind for e in missing.events] == ["link_degrade"]
+
+    def test_out_of_range_device_rejected(self):
+        plan = FaultPlan().device_crash(1.0, "70")
+        with pytest.raises(ValueError):
+            plan.partition(64, cell_devices=64)
+
+    def test_pure_data(self):
+        plan = self.build()
+        before = plan.to_dict()
+        plan.partition(256, cell_devices=64)
+        assert plan.to_dict() == before  # source plan untouched

@@ -1,0 +1,113 @@
+"""Sharded runtime determinism: byte-identical results at any shard count.
+
+The contract of ``repro.sim.shard`` is that the cell decomposition — and
+therefore every RNG stream, every merge, every output row — depends only
+on ``(n_devices, cell_devices, seed)``, never on how many shard workers
+the cells are scheduled onto. These tests pin that with exact ``==``
+across 1/2/4 shards for S1-S3 recognition workloads, and pin the unarmed
+path (no ``REPRO_SHARDS``) to the seed's frozen observables.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import SCENARIO_A
+from repro.apps.suite import SUITE
+from repro.platforms import platform_config
+from repro.sim import flags
+from repro.sim.shard import plan_cells, run_sharded
+
+N_DEVICES = 16
+CELL_DEVICES = 4  # four cells, so 1/2/4 shards all divide the work
+
+
+def scenario_variant(app_key):
+    """SCENARIO_A's flight/field shell around one suite recognition app."""
+    return dataclasses.replace(
+        SCENARIO_A, key=f"ScA-{app_key}", recognition=SUITE[app_key])
+
+
+def result_bytes(result):
+    """Everything observable, exactly."""
+    return (
+        tuple(result.task_latencies.values),
+        tuple(result.task_latencies.times),
+        result.extras["makespan_s"],
+        result.duration_s,
+        tuple(result.wireless_meter.events),
+        result.extras["targets"],
+        result.extras["cloud_completions"],
+    )
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("app_key", ["S1", "S2", "S3"])
+    def test_rows_identical_at_1_2_4_shards(self, app_key):
+        scenario = scenario_variant(app_key)
+        config = platform_config("hivemind")
+        reference = None
+        for shards in (1, 2, 4):
+            result = run_sharded(config, scenario, N_DEVICES, seed=0,
+                                 shards=shards, cell_devices=CELL_DEVICES)
+            observed = result_bytes(result)
+            if reference is None:
+                reference = observed
+            else:
+                assert observed == reference, (
+                    f"{app_key}: rows differ at {shards} shards")
+
+    def test_seed_changes_rows(self):
+        scenario = scenario_variant("S1")
+        config = platform_config("hivemind")
+        a = run_sharded(config, scenario, N_DEVICES, seed=0,
+                        shards=2, cell_devices=CELL_DEVICES)
+        b = run_sharded(config, scenario, N_DEVICES, seed=1,
+                        shards=2, cell_devices=CELL_DEVICES)
+        assert result_bytes(a) != result_bytes(b)
+
+
+class TestCellPlan:
+    def test_plan_is_shard_count_free(self):
+        specs = plan_cells(130, seed=5, cell_devices=64)
+        assert [s.n_devices for s in specs] == [64, 64, 2]
+        assert [s.device_id_base for s in specs] == [0, 64, 128]
+        assert [s.seed for s in specs] == [5, 1005, 2005]
+
+    def test_fault_routing(self):
+        specs = plan_cells(128, cell_devices=64,
+                           device_faults=[(70, 12.5), (3, 1.0)])
+        assert specs[0].fail_devices_at == ((3, 1.0),)
+        assert specs[1].fail_devices_at == ((6, 12.5),)
+
+    def test_fault_outside_swarm_rejected(self):
+        with pytest.raises(ValueError):
+            plan_cells(64, device_faults=[(64, 1.0)])
+
+
+class TestUnarmedPath:
+    """No REPRO_SHARDS / REPRO_MEANFIELD -> the seed's exact numbers."""
+
+    def test_unarmed_swarm_cell_matches_seed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        monkeypatch.delenv("REPRO_MEANFIELD", raising=False)
+        from repro.experiments.fig17_scalability import _swarm_cell
+        # Frozen seed observables (hivemind, Scenario A, 16 devices,
+        # seed 0) — any drift here means the unarmed path changed.
+        assert _swarm_cell("hivemind", "ScA", 16, 0) == (
+            70.06315789473685, 1.299728340651617, 56.07499999999999)
+
+    def test_flag_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        monkeypatch.delenv("REPRO_MEANFIELD", raising=False)
+        assert flags.shard_count() == 1
+        assert flags.meanfield_enabled() is False
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        monkeypatch.setenv("REPRO_MEANFIELD", "1")
+        assert flags.shard_count() == 4
+        assert flags.meanfield_enabled() is True
+        # Explicit overrides always beat the environment.
+        assert flags.shard_count(2) == 2
+        assert flags.meanfield_enabled(False) is False
+        with pytest.raises(ValueError):
+            flags.shard_count(0)
