@@ -25,10 +25,19 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments.__main__ import main  # noqa: E402
 from repro.experiments.bench import bench_path  # noqa: E402
+from repro.experiments.parallel import default_workers  # noqa: E402
 
 
 def annotate_seed_era_records() -> None:
-    """Report wall-clock-only records so their nulls are expected."""
+    """Report older records whose fields need a caveat, without rewriting.
+
+    Two vintages to call out: ``sim_events: null`` rows predate the
+    kernel event counter (wall-clock only), and rows without a
+    ``cores_source`` field recorded ``cores`` from raw ``os.cpu_count()``
+    — on cgroup-quota-limited containers that overstates the cores the
+    run actually had (new records store the cgroup-aware worker count
+    from ``repro.experiments.parallel.default_workers()``).
+    """
     target = bench_path()
     if not target.exists():
         return
@@ -43,6 +52,12 @@ def annotate_seed_era_records() -> None:
         print(f"[bench] {len(unmeasured)} seed-era record(s) without "
               f"event counts (wall-clock only, predate the kernel event "
               f"counter): {', '.join(sorted(set(unmeasured)))}")
+    raw_cores = [r for r in runs if isinstance(r, dict)
+                 and "cores" in r and "cores_source" not in r]
+    if raw_cores:
+        print(f"[bench] {len(raw_cores)} record(s) report os.cpu_count() "
+              f"cores (no cores_source field); this host's cgroup-aware "
+              f"count is {default_workers()}")
 
 
 if __name__ == "__main__":

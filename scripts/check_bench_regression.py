@@ -26,6 +26,9 @@ Usage::
     python scripts/check_bench_regression.py [--max-drop 0.30] [PATH]
     python scripts/check_bench_regression.py \
         --pair milestone:fig17b-shard-1024 --min-speedup 1.2
+    python scripts/check_bench_regression.py \
+        --pair milestone:fig17b-cloudshard-1024 \
+        --baseline edge-sharded --min-speedup 1.3
 """
 
 import argparse
@@ -36,26 +39,38 @@ import sys
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
 
 
-def check_pair(runs, prefix, min_speedup) -> int:
-    """Gate the newest shard-milestone pair under ``prefix``."""
+def check_pair(runs, prefix, min_speedup, baseline_suffix="1shard") -> int:
+    """Gate the newest milestone pair under ``prefix``.
+
+    With the default suffix the pair is the historical ``--bench-shard``
+    shape (``PREFIX:1shard`` vs the newest ``PREFIX:<n>shard``). A custom
+    ``baseline_suffix`` (e.g. ``edge-sharded`` for the ``--bench-cloudshard``
+    pair) relaxes the candidate match to *any* other label under the
+    prefix, since those legs are named, not counted.
+    """
     def newest(predicate):
         hits = [r for r in runs if isinstance(r, dict) and r.get("wall_s")
                 and predicate(r.get("label", ""))]
         return hits[-1] if hits else None
 
-    baseline = newest(lambda lab: lab == f"{prefix}:1shard")
-    sharded = newest(lambda lab: lab.startswith(f"{prefix}:")
-                     and lab.endswith("shard")
-                     and lab != f"{prefix}:1shard")
-    if baseline is None or sharded is None:
-        print(f"[bench] need a 1shard + multi-shard record under "
+    baseline_label = f"{prefix}:{baseline_suffix}"
+    baseline = newest(lambda lab: lab == baseline_label)
+    if baseline_suffix == "1shard":
+        candidate = newest(lambda lab: lab.startswith(f"{prefix}:")
+                           and lab.endswith("shard")
+                           and lab != baseline_label)
+    else:
+        candidate = newest(lambda lab: lab.startswith(f"{prefix}:")
+                           and lab != baseline_label)
+    if baseline is None or candidate is None:
+        print(f"[bench] need a {baseline_suffix} + candidate record under "
               f"'{prefix}' to compare; skipping")
         return 0
-    speedup = baseline["wall_s"] / sharded["wall_s"]
+    speedup = baseline["wall_s"] / candidate["wall_s"]
     verdict = "OK" if speedup >= min_speedup else "REGRESSION"
-    print(f"[bench] {prefix}: 1shard {baseline['wall_s']:.2f}s "
-          f"({baseline.get('date', '?')}), {sharded['label'].split(':')[-1]} "
-          f"{sharded['wall_s']:.2f}s ({sharded.get('date', '?')}), "
+    print(f"[bench] {prefix}: {baseline_suffix} {baseline['wall_s']:.2f}s "
+          f"({baseline.get('date', '?')}), {candidate['label'].split(':')[-1]} "
+          f"{candidate['wall_s']:.2f}s ({candidate.get('date', '?')}), "
           f"speedup {speedup:.2f}x, floor {min_speedup:.2f}x -> {verdict}")
     return 0 if verdict == "OK" else 1
 
@@ -76,13 +91,17 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.2,
                         help="wall-clock speedup floor for --pair "
                              "(default 1.2)")
+    parser.add_argument("--baseline", metavar="SUFFIX", default="1shard",
+                        help="baseline label suffix for --pair (default "
+                             "'1shard'; use 'edge-sharded' for the "
+                             "--bench-cloudshard pair)")
     args = parser.parse_args(argv)
 
     with open(args.path) as handle:
         runs = json.load(handle).get("runs", [])
 
     if args.pair:
-        return check_pair(runs, args.pair, args.min_speedup)
+        return check_pair(runs, args.pair, args.min_speedup, args.baseline)
     # Records may carry manifest fields this script predates (git_rev,
     # flags, ...) or be malformed entirely; look only at what we need and
     # skip anything that is not a record object. Seed-era records carry

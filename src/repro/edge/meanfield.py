@@ -59,7 +59,7 @@ from ..routing import coverage_route
 from ..routing.coverage import Region
 
 __all__ = ["MeanFieldCell", "FlightProfile", "flight_profile",
-           "predict_cell", "validate_cells"]
+           "predict_cell", "validate_cells", "synthetic_stream"]
 
 # -- calibration (fit once against the exact runner, seed 0) -------------
 #: Mean of the device-side lognormal(0, 0.18) execution jitter.
@@ -492,6 +492,110 @@ def predict_cell(platform: Union[str, object],
                 f_edge * edge_exec_mean + obstacle_mean),
             "mb_per_batch": mb_per_batch,
         })
+
+
+def synthetic_stream(platform: Union[str, object],
+                     scenario: Union[str, ScenarioSpec],
+                     n_devices: int, cell_index: int,
+                     device_id_base: int, total_devices: int,
+                     seed: int = 0,
+                     constants: Optional[PaperConstants] = None,
+                     slots: int = 64):
+    """Price one mean-field cell's *cloud-bound load* as weighted
+    synthetic arrival streams for the sharded cloud tier (hybrid runs).
+
+    Instead of simulating the cell's ``n_devices * B`` tasks, the cell's
+    mission-long demand is compressed into at most ``slots`` synthetic
+    :class:`~repro.sim.shard.CloudCall` messages, each carrying
+    ``weight = total_tasks / slots`` tasks' worth of service time and
+    payload — total core-seconds, storage bytes, and wireless megabytes
+    are conserved exactly, while per-call granularity is coarse (the
+    point: a 100k-device background fleet prices into a few thousand
+    calls). The cloud/edge admission split, edge filtering, and the
+    dedup-only shape of edge-executed batches all mirror the exact
+    runner's boundary-submit sites.
+
+    Returns ``(calls, meter_events)``: the calls in canonical
+    (arrival, cell, seq) order flagged ``synthetic=True`` (the region
+    gateway serves them without straggler mitigation and counts them as
+    background completions), and the wireless-meter events
+    ``(time, megabytes)`` the cell's uploads/result pushes would have
+    recorded.
+    """
+    from ..platforms import platform_config
+    from ..sim.shard import CloudCall
+    config = (platform_config(platform) if isinstance(platform, str)
+              else platform)
+    if isinstance(scenario, str):
+        from ..apps import SCENARIO_A, SCENARIO_B
+        scenario = {s.key: s for s in (SCENARIO_A, SCENARIO_B)}[scenario]
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    if slots <= 0:
+        raise ValueError("slots must be positive")
+    base = constants if constants is not None else DEFAULT
+    cst = base.scaled_for_swarm(total_devices)
+    profile = flight_profile(cst)
+    B = max(1, profile.batches)
+    tier = _recognition_tier(config, scenario, total_devices, cst)
+    f_cloud = _cloud_fraction(config, scenario, total_devices, tier)
+
+    app = scenario.recognition
+    dedup = scenario.dedup
+    upload_mb = app.input_mb
+    if config.edge_filtering:
+        upload_mb = app.input_mb * app.edge_filter_keep
+    total_tasks = n_devices * B
+    K = max(1, min(int(slots), total_tasks))
+    weight = total_tasks / K
+    n_cloud = round(K * f_cloud)
+
+    rng = np.random.default_rng([_RNG_SEED, seed, device_id_base])
+    # Stratified arrivals over the capture span: one slot per stratum,
+    # jittered inside it, so the aggregate stream has the mission's
+    # arrival envelope at any slot count.
+    span = max(profile.last_capture_s - profile.first_capture_s, 0.0)
+    arrivals = np.sort(profile.first_capture_s
+                       + (np.arange(K) + rng.random(K)) / K * span)
+    is_cloud = rng.permutation(
+        np.arange(K) < n_cloud) if 0 < n_cloud < K else (
+        np.full(K, n_cloud >= K))
+
+    calls = []
+    meter_events = []
+    seq = 0
+    for slot in range(K):
+        arrival = float(arrivals[slot])
+        if is_cloud[slot]:
+            recognition_s = weight * float(rng.lognormal(
+                math.log(app.cloud_service_s), app.service_sigma))
+            dedup_s = (weight * float(rng.lognormal(
+                math.log(dedup.cloud_service_s), dedup.service_sigma))
+                if dedup is not None else None)
+            calls.append(CloudCall(
+                cell=cell_index, seq=seq, device_id=f"mf{cell_index}",
+                arrival_s=arrival, recognition_s=recognition_s,
+                dedup_s=dedup_s, input_mb=upload_mb * weight,
+                output_mb=app.output_mb * weight,
+                synthetic=True, weight=weight))
+            seq += 1
+            meter_events.append((arrival, upload_mb * weight))
+        else:
+            # Edge-executed batch: the result push still crosses the
+            # wireless medium, and (for scenarios with an aggregate
+            # stage) a dedup-only message still lands at the cloud tier.
+            meter_events.append((arrival, app.output_mb * weight))
+            if dedup is not None:
+                dedup_s = weight * float(rng.lognormal(
+                    math.log(dedup.cloud_service_s), dedup.service_sigma))
+                calls.append(CloudCall(
+                    cell=cell_index, seq=seq,
+                    device_id=f"mf{cell_index}", arrival_s=arrival,
+                    recognition_s=None, dedup_s=dedup_s,
+                    input_mb=0.1 * weight, output_mb=0.05 * weight,
+                    synthetic=True, weight=weight))
+                seq += 1
+    return calls, meter_events
 
 
 def validate_cells(sizes: Sequence[int] = (16, 64, 256),

@@ -21,8 +21,16 @@ queues (``REPRO_ANALYTIC_NET=0`` equivalent);
 (``REPRO_BATCHED_RNG=0`` equivalent);
 ``--bench-dispatch`` records the fast/legacy dispatch+RNG milestone pair;
 ``--bench-shard`` records the fig17b 1024-drone 1-shard/4-shard pair;
+``--bench-cloudshard`` records the fig17b 1024-drone edge-sharded/
+cloud-sharded pair;
 ``--shards N`` decomposes each swarm run into cells over N shard
 processes (``REPRO_SHARDS=N`` equivalent; byte-identical results);
+``--cloud-shards N`` additionally decomposes the cloud tier into
+per-region controller workers (``REPRO_CLOUD_SHARDS=N`` equivalent;
+rows identical at any N >= 1);
+``--hybrid-exact N`` keeps an N-device exact focus and rides the rest
+of the fleet as mean-field synthetic load (``REPRO_HYBRID_EXACT=N``
+equivalent; arms the sharded cloud tier);
 ``--meanfield`` collapses homogeneous swarm cells into the O(1)
 population model (``REPRO_MEANFIELD=1`` equivalent; approximate);
 ``--trace`` arms causal request tracing (``REPRO_TRACE=1`` equivalent);
@@ -91,10 +99,25 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-shard", action="store_true",
                         help="record the fig17b 1024-drone 1-shard/4-shard "
                              "milestone pair in BENCH_kernel.json")
+    parser.add_argument("--bench-cloudshard", action="store_true",
+                        help="record the fig17b 1024-drone edge-sharded/"
+                             "cloud-sharded milestone pair in "
+                             "BENCH_kernel.json")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="decompose each swarm run into cells over N "
                              "shard processes (sets REPRO_SHARDS=N; "
                              "results are byte-identical at any count)")
+    parser.add_argument("--cloud-shards", type=int, default=None,
+                        metavar="N",
+                        help="decompose the cloud tier into per-region "
+                             "controller workers over up to N processes "
+                             "(sets REPRO_CLOUD_SHARDS=N; rows identical "
+                             "at any N >= 1; 0 = monolithic gateway)")
+    parser.add_argument("--hybrid-exact", type=int, default=None,
+                        metavar="N",
+                        help="keep an N-device exact focus and inject the "
+                             "rest of the fleet as mean-field synthetic "
+                             "load (sets REPRO_HYBRID_EXACT=N)")
     parser.add_argument("--meanfield", action="store_true",
                         help="collapse homogeneous swarm cells into the "
                              "O(1) mean-field population model (sets "
@@ -150,6 +173,10 @@ def main(argv=None) -> int:
     if args.shards is not None:
         # Environment (not a runner kwarg) so pool workers inherit it.
         os.environ["REPRO_SHARDS"] = str(args.shards)
+    if args.cloud_shards is not None:
+        os.environ["REPRO_CLOUD_SHARDS"] = str(args.cloud_shards)
+    if args.hybrid_exact is not None:
+        os.environ["REPRO_HYBRID_EXACT"] = str(args.hybrid_exact)
     if args.meanfield:
         os.environ["REPRO_MEANFIELD"] = "1"
     if args.trace_out:
@@ -190,7 +217,8 @@ def _export_trace(args) -> None:
          "bench-fig17" if args.bench_fig17 else
          "bench-fig11" if args.bench_fig11 else
          "bench-dispatch" if args.bench_dispatch else
-         "bench-shard" if args.bench_shard else "?")
+         "bench-shard" if args.bench_shard else
+         "bench-cloudshard" if args.bench_cloudshard else "?")
     manifest = obs.RunManifest.collect(
         mode, seed=args.seed,
         spans=len(spans), trace_files=[str(p) for p in written])
@@ -256,6 +284,12 @@ def _dispatch(args) -> int:
     if args.bench_shard:
         from .bench import bench_path, run_shard_milestone
         _print_bench(run_shard_milestone(seed=args.seed))
+        print(f"[milestone pair appended to {bench_path()}]")
+        return 0
+
+    if args.bench_cloudshard:
+        from .bench import bench_path, run_cloudshard_milestone
+        _print_bench(run_cloudshard_milestone(seed=args.seed))
         print(f"[milestone pair appended to {bench_path()}]")
         return 0
 

@@ -26,7 +26,8 @@ from .registry import run_experiment
 
 __all__ = ["bench_path", "load_bench", "record_bench", "run_smoke",
            "run_fig17_milestone", "run_fig11_milestone",
-           "run_dispatch_milestone", "run_shard_milestone"]
+           "run_dispatch_milestone", "run_shard_milestone",
+           "run_cloudshard_milestone"]
 
 #: The fixed smoke workload: small deterministic figure harnesses that
 #: together exercise every platform and both scenarios in ~30 s.
@@ -66,7 +67,13 @@ def record_bench(label: str, wall_s: float, sim_events: int,
         "wall_s": round(wall_s, 3),
         "sim_events": int(sim_events),
         "events_per_s": (round(sim_events / wall_s) if wall_s > 0 else 0),
-        "cores": os.cpu_count() or 1,
+        # Cgroup-aware: on a quota-limited container os.cpu_count() lies
+        # about how many cores the workload can actually use, which made
+        # cross-host events/s comparisons misleading. Keep the raw count
+        # alongside for forensics on old records.
+        "cores": parallel.default_workers(),
+        "cores_source": "cgroup_quota",
+        "os_cpu_count": os.cpu_count() or 1,
         # Manifest provenance: which code and which fast paths produced
         # this timing (consumers must tolerate unknown fields).
         "git_rev": git_revision(),
@@ -316,4 +323,82 @@ def run_shard_milestone(n_devices: int = 1024, seed: int = 0,
                 f"shard tolerance violated: {name} deviates "
                 f"{deviation:.1f}% (> {tolerance_pct}%) from the "
                 f"single-process runner")
+    return records
+
+
+def run_cloudshard_milestone(n_devices: int = 1024, seed: int = 0,
+                             shards: int = 4, cloud_shards: int = 4,
+                             tolerance_pct: float = 10.0,
+                             path: Optional[str] = None
+                             ) -> List[Dict[str, Any]]:
+    """Record the cloud-sharded milestone pair: monolithic vs regional.
+
+    Runs the fig17b 1024-drone hivemind Scenario-B point — the workload
+    where the PR 7 trajectory showed the monolithic ``CloudGateway``
+    eating roughly half the sharded run's wall clock — through the
+    edge-sharded runtime with the monolithic cloud tier (exactly the
+    PR 7 baseline leg, same core count) and through the per-region
+    controller decomposition (``cloud_shards`` worker groups of
+    :class:`~repro.serverless.region.RegionGateway` slices, each
+    pricing its region's calls on a closed-form virtual clock instead
+    of dispatching kernel events), appending one record each. The win
+    is algorithmic as well as parallel: a region prices each cloud call
+    in O(log cores) heap work with zero kernel events, so the pair
+    shows a speedup even where the worker cap collapses the region
+    groups onto one core.
+
+    Rows are *not* byte-identical across the two legs (the regional
+    tier draws its own RNG streams; the identity contract holds across
+    ``(shards, cloud_shards)`` combinations of the armed runtime — see
+    ``tests/sim/test_shard_determinism.py``). Instead the observables
+    (bandwidth mean, task p99, makespan) must agree within
+    ``tolerance_pct``; a mismatch raises instead of recording
+    misleading numbers.
+    """
+    from ..apps import SCENARIO_B
+    from ..platforms import platform_config
+    from ..sim.kernel import events_consumed
+    from ..sim.shard import run_sharded
+
+    def observables(result):
+        bw_mean, _ = result.bandwidth_summary()
+        return (bw_mean, result.task_latencies.p99,
+                result.extras["makespan_s"])
+
+    legs = (
+        ("edge-sharded", 0, lambda: run_sharded(
+            platform_config("hivemind"), SCENARIO_B, n_devices,
+            seed=seed, shards=shards)),
+        ("cloud-sharded", cloud_shards, lambda: run_sharded(
+            platform_config("hivemind"), SCENARIO_B, n_devices,
+            seed=seed, shards=shards, cloud_shards=cloud_shards)),
+    )
+    records = []
+    walls: Dict[str, float] = {}
+    triples: Dict[str, tuple] = {}
+    for label, count, runner in legs:
+        before = events_consumed()
+        start = time.perf_counter()
+        result = runner()
+        wall = time.perf_counter() - start
+        walls[label] = wall
+        triples[label] = observables(result)
+        extra = {"makespan_s": round(result.extras["makespan_s"], 3),
+                 "shards": shards,
+                 "cloud_shards": count,
+                 "scenario": SCENARIO_B.key}
+        if label != "edge-sharded":
+            extra["speedup"] = round(walls["edge-sharded"] / wall, 2)
+        records.append(record_bench(
+            f"milestone:fig17b-cloudshard-{n_devices}:{label}",
+            wall, events_consumed() - before, path=path, extra=extra))
+    for name, got, want in zip(("bandwidth", "p99", "makespan"),
+                               triples["cloud-sharded"],
+                               triples["edge-sharded"]):
+        deviation = abs(got - want) / want * 100.0
+        if deviation > tolerance_pct:
+            raise AssertionError(
+                f"cloud-shard tolerance violated: {name} deviates "
+                f"{deviation:.1f}% (> {tolerance_pct}%) from the "
+                f"monolithic cloud tier")
     return records

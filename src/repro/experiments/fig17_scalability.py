@@ -45,11 +45,15 @@ def _swarm_cell(platform: str, scenario_key: str, n_devices: int,
     """(bandwidth mean, task p99, makespan) — picklable pool cell.
 
     Routing honours the runtime kill switches (resolved here, in the
-    pool worker, so ``REPRO_SHARDS``/``REPRO_MEANFIELD`` set by the CLI
-    reach every replica): mean-field collapses the cell to the O(1)
+    pool worker, so ``REPRO_SHARDS``/``REPRO_CLOUD_SHARDS``/
+    ``REPRO_HYBRID_EXACT``/``REPRO_MEANFIELD`` set by the CLI reach
+    every replica): mean-field collapses the cell to the O(1)
     population model, ``REPRO_SHARDS=N`` fans the exact simulation out
-    over N shard processes, and the unarmed default is the byte-identical
-    single-process runner.
+    over N shard processes, ``REPRO_CLOUD_SHARDS=N`` additionally
+    decomposes the cloud tier into per-region controller workers,
+    ``REPRO_HYBRID_EXACT=N`` keeps an N-device exact focus and injects
+    the rest as mean-field synthetic load, and the unarmed default is
+    the byte-identical single-process runner.
     """
     from ..sim import flags
     if flags.meanfield_enabled():
@@ -57,11 +61,15 @@ def _swarm_cell(platform: str, scenario_key: str, n_devices: int,
         return predict_cell(platform, scenario_key, n_devices,
                             seed=seed).triple
     shards = flags.shard_count()
-    if shards > 1:
+    cloud_shards = flags.cloud_shard_count()
+    hybrid_exact = flags.hybrid_exact_devices()
+    if shards > 1 or cloud_shards > 0 or hybrid_exact > 0:
         from ..sim.shard import run_sharded
         result = run_sharded(
             platform_config(platform), _SCENARIOS[scenario_key],
-            n_devices, seed=seed, shards=shards)
+            n_devices, seed=seed, shards=shards,
+            cloud_shards=cloud_shards,
+            exact_devices=hybrid_exact or None)
     else:
         result = ScenarioRunner(
             platform_config(platform), _SCENARIOS[scenario_key], seed=seed,
@@ -182,6 +190,62 @@ def run_extended(sizes: Sequence[int] = EXTENDED_SIZES,
         title="Mean-field saturation curves (10k-1M devices)",
         headers=["key", "devices", "bw_mean_mbs", "task_p99_s",
                  "makespan_s"],
+        rows=rows,
+        data=data,
+    )
+
+
+HYBRID_FLEETS: Sequence[Tuple[int, int]] = (
+    (256, 64), (1024, 256), (100_000, 256))
+
+
+def run_hybrid(fleets: Sequence[Tuple[int, int]] = HYBRID_FLEETS,
+               base_seed: int = 0,
+               max_workers: Optional[int] = None) -> ExperimentResult:
+    """Fig 17d: hybrid exact/mean-field curves on HiveMind.
+
+    Each (fleet, exact) pair simulates an ``exact``-device focus
+    sub-swarm event-by-event while the rest of the fleet rides as
+    mean-field aggregate cells injecting calibrated synthetic load into
+    the sharded cloud tier — e.g. 256 exact devices inside a 100k-drone
+    fleet. The exact focus carries the latency rows; the background
+    shows up in bandwidth and cloud counters (see DESIGN.md's hybrid
+    trust boundary). Row order is fixed by the cell plan, so the table
+    is deterministic at any worker count.
+    """
+    del max_workers  # each point is one sharded run; serial keeps RSS flat
+    from ..sim import flags
+    from ..sim.shard import run_sharded
+
+    cloud_shards = max(1, flags.cloud_shard_count())
+    rows: List[List] = []
+    data: Dict[str, Dict] = {}
+    for scenario in (SCENARIO_A, SCENARIO_B):
+        for n_devices, exact in fleets:
+            result = run_sharded(
+                platform_config("hivemind"), scenario, int(n_devices),
+                seed=base_seed, shards=max(1, flags.shard_count()),
+                cloud_shards=cloud_shards, exact_devices=int(exact))
+            bw_mean, _ = result.bandwidth_summary()
+            tail_s = result.task_latencies.p99
+            key = f"{scenario.key}:hybrid:{n_devices}x{exact}"
+            rows.append([key, n_devices, exact, round(bw_mean, 1),
+                         round(tail_s, 2),
+                         round(result.extras["makespan_s"], 1)])
+            data[key] = {
+                "bandwidth_mbs": bw_mean,
+                "tail_s": tail_s,
+                "makespan_s": result.extras["makespan_s"],
+                "exact_devices": int(exact),
+                "meanfield_cells": result.extras.get("meanfield_cells", 0),
+                "background_completions": result.extras.get(
+                    "background_completions", 0),
+            }
+    return ExperimentResult(
+        figure="fig17d",
+        title="Hybrid exact/mean-field swarm curves",
+        headers=["key", "devices", "exact_devices", "bw_mean_mbs",
+                 "task_p99_s", "makespan_s"],
         rows=rows,
         data=data,
     )

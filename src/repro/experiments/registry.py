@@ -51,6 +51,8 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig17b": fig17_scalability.run_swarm_size,
     # Mean-field extension of fig17b: 10k-1M devices, zero kernel events.
     "fig17c": fig17_scalability.run_extended,
+    # Hybrid exact-focus + mean-field-background fleets (sharded cloud).
+    "fig17d": fig17_scalability.run_hybrid,
     "fig18": fig18_validation.run,
     # Closed-form (app, platform, N) grid — zero kernel events by design.
     "sweep": sweep.run,

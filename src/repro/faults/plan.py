@@ -171,7 +171,9 @@ class FaultPlan:
 
     # -- sharded decomposition --------------------------------------------
     def partition(self, n_devices: int,
-                  cell_devices: int = 64) -> "PartitionedPlan":
+                  cell_devices: int = 64,
+                  region_devices: Optional[int] = None,
+                  n_servers: Optional[int] = None) -> "PartitionedPlan":
         """Split this plan along the sharded runtime's cell decomposition.
 
         Device-layer events route to the cell that owns their target
@@ -181,6 +183,18 @@ class FaultPlan:
         the access network, so a link degradation or cloud partition hits
         all of them. Cluster/serverless events land in the shared
         ``cloud`` plan, which the coordinating process owns.
+
+        ``region_devices`` additionally builds per-region plans for the
+        cloud-sharded runtime (``REPRO_CLOUD_SHARDS``) as a *parallel
+        view* of the same backend events (the legacy ``cloud`` plan is
+        unchanged): server/invoker crashes route to the region owning
+        that server under the contiguous
+        :func:`repro.serverless.region.region_server_count` split;
+        CouchDB/Kafka outages land in region 0 (their builders carry no
+        target — the model keeps one canonical store/bus shard);
+        cloud-partition windows and function-fault rates replicate to
+        every region. ``n_servers`` defaults to the swarm-scaled cluster
+        size — pass it when partitioning for a custom cluster.
 
         Pure data in, pure data out: the method never touches simulation
         state, so a plan can be partitioned for any swarm size and the
@@ -193,12 +207,28 @@ class FaultPlan:
         cell_devices = min(cell_devices, n_devices)
         cells: Dict[int, FaultPlan] = {}
         cloud = FaultPlan(name=f"{self.name}:cloud", seed=self.seed)
+        regions: Dict[int, FaultPlan] = {}
+        n_regions = None
+        if region_devices is not None:
+            if region_devices <= 0:
+                raise ValueError("region_devices must be positive")
+            n_regions = -(-n_devices // region_devices)
+            if n_servers is None:
+                from ..config import DEFAULT
+                n_servers = DEFAULT.scaled_for_swarm(
+                    n_devices).cluster.servers
 
         def cell_plan(index: int) -> FaultPlan:
             if index not in cells:
                 cells[index] = FaultPlan(
                     name=f"{self.name}:cell{index}", seed=self.seed)
             return cells[index]
+
+        def region_plan(index: int) -> FaultPlan:
+            if index not in regions:
+                regions[index] = FaultPlan(
+                    name=f"{self.name}:region{index}", seed=self.seed)
+            return regions[index]
 
         for event in self.sorted_events():
             layer = event.layer
@@ -218,11 +248,44 @@ class FaultPlan:
                 n_cells = -(-n_devices // cell_devices)
                 for cell in range(n_cells):
                     cell_plan(cell).add(event)
+                if n_regions is not None and event.kind == "cloud_partition":
+                    for region in range(n_regions):
+                        region_plan(region).add(event)
             else:  # cluster / serverless — shared backend state.
                 cloud.add(event)
+                if n_regions is None:
+                    continue
+                if event.kind in ("server_crash", "invoker_crash"):
+                    server = int("".join(
+                        ch for ch in str(event.target) if ch.isdigit())
+                        or 0)
+                    region_plan(_owning_region(
+                        server, n_regions, n_servers)).add(event)
+                elif event.kind in ("couchdb_outage", "kafka_outage"):
+                    region_plan(0).add(event)
+                else:  # function_faults — a platform-wide rate.
+                    for region in range(n_regions):
+                        region_plan(region).add(event)
         return PartitionedPlan(source=self, n_devices=n_devices,
                                cell_devices=cell_devices, cells=cells,
-                               cloud=cloud)
+                               cloud=cloud, region_devices=region_devices,
+                               regions=regions)
+
+
+def _owning_region(server: int, n_regions: int, n_servers: int) -> int:
+    """Region owning backend ``server`` under the contiguous split of
+    :func:`repro.serverless.region.region_server_count` (when regions
+    outnumber servers each region maps to one logical server, so the
+    owner is the same-index region)."""
+    if n_regions >= n_servers:
+        return min(server, n_regions - 1)
+    base, extra = divmod(n_servers, n_regions)
+    cumulative = 0
+    for region in range(n_regions):
+        cumulative += base + (1 if region < extra else 0)
+        if server < cumulative:
+            return region
+    return n_regions - 1
 
 
 @dataclass(frozen=True)
@@ -237,11 +300,25 @@ class PartitionedPlan:
     cells: Dict[int, FaultPlan]
     #: Cluster + serverless events; owned by the coordinating process.
     cloud: FaultPlan
+    #: Region decomposition used for ``regions`` (None when the plan was
+    #: partitioned without one; the legacy ``cloud`` plan is always
+    #: built either way).
+    region_devices: Optional[int] = None
+    #: Region index -> that region's backend plan — a parallel view of
+    #: the ``cloud`` events for the cloud-sharded runtime. Regions with
+    #: no events are absent.
+    regions: Dict[int, FaultPlan] = field(default_factory=dict)
 
     def cell(self, index: int) -> FaultPlan:
         """The plan for one cell (an empty plan when nothing targets it)."""
         return self.cells.get(
             index, FaultPlan(name=f"{self.source.name}:cell{index}",
+                             seed=self.source.seed))
+
+    def region(self, index: int) -> FaultPlan:
+        """One region's backend plan (empty when nothing targets it)."""
+        return self.regions.get(
+            index, FaultPlan(name=f"{self.source.name}:region{index}",
                              seed=self.source.seed))
 
     def device_crash_schedule(self) -> List[Tuple[int, float]]:

@@ -13,6 +13,16 @@ failed after 3 s, and its region is repartitioned to neighbours who then
 fly the extra coverage (HiveMind / centralized platforms; the distributed
 platform has no global view, so a failed drone's region simply goes
 unsearched).
+
+This runner is the *exact* tier: every device is discrete-event
+simulated in one kernel. ``repro.sim.shard.run_sharded`` decomposes the
+same mission into per-cell kernels (and, with ``REPRO_CLOUD_SHARDS``,
+per-region cloud workers); hybrid runs keep a small exact focus with
+this runner's semantics while ``repro.edge.meanfield`` prices the
+background fleet.
+Results from this runner remain the ground truth the sharded and hybrid
+tiers are validated against (see tests/sim/test_shard_determinism.py
+and tests/edge/test_meanfield_parity.py).
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ from .function import FunctionSpec, Invocation, InvocationRequest
 from .invoker import ActivationCancelled, Invoker
 from .kafka import KafkaBus
 from .openwhisk import OpenWhiskPlatform
+from .region import RegionGateway, region_server_count
 from .scheduler import HiveMindScheduler, OpenWhiskScheduler, Placement
 
 __all__ = [
@@ -29,6 +30,8 @@ __all__ = [
     "HiveMindScheduler",
     "Placement",
     "OpenWhiskPlatform",
+    "RegionGateway",
+    "region_server_count",
     "SharingProtocol",
     "CouchDBSharing",
     "RpcSharing",

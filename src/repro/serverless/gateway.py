@@ -16,6 +16,12 @@ gateway adds randomness only from its own private stream namespace
 (``seed + GATEWAY_SEED_OFFSET``). Since neither the merged stream nor
 the gateway's seeds depend on how cells were grouped into shards, the
 cloud side is byte-identical at any shard count.
+
+When the cloud tier is itself decomposed (``REPRO_CLOUD_SHARDS``), the
+per-region analytic model in :mod:`repro.serverless.region` replaces
+this gateway entirely; hybrid exact/mean-field runs always take that
+path, so synthetic background calls must never reach a
+:class:`CloudGateway` — :meth:`CloudGateway.feed` enforces it.
 """
 
 from __future__ import annotations
@@ -107,6 +113,11 @@ class CloudGateway:
                     f"late cloud message: arrival {call.arrival_s:.6f} < "
                     f"gateway time {self.env.now:.6f} (barrier protocol "
                     "violated)")
+            if getattr(call, "synthetic", False):
+                raise RuntimeError(
+                    "synthetic mean-field call fed to the monolithic "
+                    "CloudGateway; hybrid runs must use the regional "
+                    "cloud tier (cloud_shards >= 1)")
             self._outstanding += 1
             self.env.process(self._serve(call))
 

@@ -18,6 +18,12 @@ so a regression can be bisected to the model, not the optimisation:
 
 All default to **on**; an explicit constructor argument always wins over
 the environment.
+
+The scale-out knobs (``REPRO_SHARDS``, ``REPRO_CLOUD_SHARDS``,
+``REPRO_MEANFIELD``, ``REPRO_HYBRID_EXACT``) invert the convention:
+they default to **off**, so unarmed runs stay byte-identical to the
+seed, and arming them opts into the sharded/aggregate runtimes of
+:mod:`repro.sim.shard` and :mod:`repro.edge.meanfield`.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ __all__ = [
     "fast_dispatch_enabled",
     "batched_rng_enabled",
     "shard_count",
+    "cloud_shard_count",
+    "hybrid_exact_devices",
     "meanfield_enabled",
 ]
 
@@ -77,6 +85,50 @@ def shard_count(override: Optional[int] = None) -> int:
         return 1
     count = int(configured)
     return count if count >= 1 else 1
+
+
+def cloud_shard_count(override: Optional[int] = None) -> int:
+    """Resolve the cloud-tier shard count (``REPRO_CLOUD_SHARDS``).
+
+    Defaults to **0 = off**: the cloud tier stays the single monolithic
+    :class:`~repro.serverless.gateway.CloudGateway` and unarmed runs are
+    byte-identical to the seed. ``REPRO_CLOUD_SHARDS=N`` (or
+    ``--cloud-shards N``) arms the per-region controller workers of
+    :mod:`repro.sim.shard`: the cloud tier decomposes into fixed-size
+    regions (a pure function of the cell plan) scheduled over up to
+    ``N`` worker groups — rows are identical at any ``N >= 1``.
+    """
+    if override is not None:
+        if override < 0:
+            raise ValueError("cloud shard count must be non-negative")
+        return int(override)
+    configured = os.environ.get("REPRO_CLOUD_SHARDS", "")
+    if not configured:
+        return 0
+    count = int(configured)
+    return count if count >= 0 else 0
+
+
+def hybrid_exact_devices(override: Optional[int] = None) -> int:
+    """Resolve the hybrid exact-focus size (``REPRO_HYBRID_EXACT``).
+
+    Defaults to **0 = off** (every cell simulates exactly). ``N > 0``
+    keeps the first ``N`` devices as exact cells and marks the rest of
+    the cell plan ``mode="meanfield"``: aggregate cells price their load
+    with :func:`repro.edge.meanfield.predict_cell` and inject it into
+    the sharded cloud tier as calibrated synthetic arrival streams, so
+    one run mixes a small exact focus sub-swarm with a mean-field
+    background swarm.
+    """
+    if override is not None:
+        if override < 0:
+            raise ValueError("hybrid exact-device count must be non-negative")
+        return int(override)
+    configured = os.environ.get("REPRO_HYBRID_EXACT", "")
+    if not configured:
+        return 0
+    count = int(configured)
+    return count if count >= 0 else 0
 
 
 def meanfield_enabled(override: Optional[bool] = None) -> bool:

@@ -60,7 +60,8 @@ from . import kernel
 from .accounting import layer_counts
 
 __all__ = ["CellSpec", "CloudCall", "CellBoundary", "plan_cells",
-           "run_sharded", "DEFAULT_CELL_DEVICES", "DEFAULT_WINDOW_S"]
+           "run_sharded", "DEFAULT_CELL_DEVICES", "DEFAULT_WINDOW_S",
+           "DEFAULT_REGION_DEVICES"]
 
 #: Devices per cell: matches the granularity at which HiveMind itself
 #: scales out shared-state schedulers (one controller per 64 devices, see
@@ -75,9 +76,23 @@ DEFAULT_CELL_DEVICES = 64
 #: count at a *fixed* window, not across window sizes.
 DEFAULT_WINDOW_S = 60.0
 
+#: Devices per cloud region when the cloud tier is sharded
+#: (``REPRO_CLOUD_SHARDS``): one region per 512 devices is eight cells'
+#: (eight controllers') worth of swarm — the granularity at which the
+#: multi-region controller layout of section 4.7 splits the backend.
+#: Region membership is a pure function of ``(cell plan,
+#: region_devices)``, never of the worker count, so merged rows are
+#: identical at any ``(shards, cloud_shards)`` combination.
+DEFAULT_REGION_DEVICES = 512
+
 #: Hard ceiling on simulated time before the barrier loop declares the
 #: mission hung (no scenario comes near this horizon).
 MAX_HORIZON_S = 1e8
+
+#: Global cap on synthetic cloud calls injected by mean-field cells in a
+#: hybrid run; per-cell slots shrink as the background fleet grows so a
+#: 1M-device background prices into a bounded stream.
+MAX_SYNTHETIC_CALLS = 4096
 
 
 @dataclass(frozen=True)
@@ -95,6 +110,12 @@ class CellSpec:
     #: Scheduled device failures local to this cell:
     #: (cell-local device index, time) pairs.
     fail_devices_at: Tuple[Tuple[int, float], ...] = ()
+    #: ``"exact"`` (simulate every device) or ``"meanfield"`` (hybrid
+    #: runs: price the cell's cloud load as a synthetic arrival stream).
+    mode: str = "exact"
+    #: Owning cloud region (``device_id_base // region_devices``) — a
+    #: pure function of the plan, independent of shard/worker counts.
+    region: int = 0
 
 
 @dataclass
@@ -126,6 +147,17 @@ class CloudCall:
     # -- cloud half (filled by the gateway) ----------------------------
     completion_s: Optional[float] = None
     cloud_breakdown: Optional[Dict[str, float]] = None
+    # -- cloud-tier sharding -------------------------------------------
+    #: Owning cloud region (stamped by the boundary; 0 when the cloud
+    #: tier is monolithic).
+    region: int = 0
+    #: True for mean-field background load (hybrid runs): served without
+    #: straggler mitigation, counted as background completions, and
+    #: never joined into a latency row.
+    synthetic: bool = False
+    #: Tasks' worth of load this message carries (synthetic streams
+    #: compress many batches into one weighted call; exact calls are 1).
+    weight: float = 1.0
 
     @property
     def sort_key(self) -> Tuple[float, int, int]:
@@ -140,8 +172,9 @@ class CellBoundary:
     driver drains :meth:`take_fresh` at each barrier.
     """
 
-    def __init__(self, cell: int):
+    def __init__(self, cell: int, region: int = 0):
         self.cell = cell
+        self.region = region
         self._seq = 0
         self.calls: List[CloudCall] = []
         self._fresh: List[CloudCall] = []
@@ -152,7 +185,8 @@ class CellBoundary:
         call = CloudCall(
             cell=self.cell, seq=self._seq, device_id=device_id,
             arrival_s=arrival_s, recognition_s=recognition_s,
-            dedup_s=dedup_s, input_mb=input_mb, output_mb=output_mb)
+            dedup_s=dedup_s, input_mb=input_mb, output_mb=output_mb,
+            region=self.region)
         self._seq += 1
         self.calls.append(call)
         self._fresh.append(call)
@@ -165,17 +199,30 @@ class CellBoundary:
 
 def plan_cells(n_devices: int, seed: int = 0,
                cell_devices: int = DEFAULT_CELL_DEVICES,
-               device_faults: Sequence[Tuple[int, float]] = ()
+               device_faults: Sequence[Tuple[int, float]] = (),
+               exact_devices: Optional[int] = None,
+               region_devices: int = DEFAULT_REGION_DEVICES
                ) -> List[CellSpec]:
     """Decompose ``n_devices`` into cells (shard-count independent).
 
     ``device_faults`` is a sequence of (global device index, time) crash
-    schedules, partitioned onto the owning cells.
+    schedules, partitioned onto the owning cells. ``exact_devices``
+    (hybrid runs) keeps the cells covering the first ``exact_devices``
+    devices exact and marks the rest ``mode="meanfield"``; a cell
+    straddling the split stays exact, so the exact focus sub-swarm never
+    shrinks below what was asked for. ``region_devices`` sets the cloud
+    region granularity; a cell belongs entirely to the region owning its
+    base device (``device_id_base // region_devices``), so cells never
+    straddle regions.
     """
     if n_devices <= 0:
         raise ValueError("n_devices must be positive")
     if cell_devices <= 0:
         raise ValueError("cell_devices must be positive")
+    if region_devices <= 0:
+        raise ValueError("region_devices must be positive")
+    if exact_devices is not None and exact_devices <= 0:
+        raise ValueError("a hybrid run needs at least one exact device")
     cell_devices = min(cell_devices, n_devices)
     n_cells = math.ceil(n_devices / cell_devices)
     by_cell: Dict[int, List[Tuple[int, float]]] = {}
@@ -188,11 +235,20 @@ def plan_cells(n_devices: int, seed: int = 0,
     for cell in range(n_cells):
         base = cell * cell_devices
         count = min(cell_devices, n_devices - base)
+        mode = ("meanfield"
+                if exact_devices is not None and base >= exact_devices
+                else "exact")
+        if mode == "meanfield" and by_cell.get(cell):
+            # Scheduled crashes demand per-device simulation: a faulted
+            # cell is promoted back to exact rather than silently
+            # dropping its fault schedule.
+            mode = "exact"
         specs.append(CellSpec(
             index=cell, n_devices=count, device_id_base=base,
             seed=seed + 1000 * cell,
             cloud_budget_cores=CLOUD_BUDGET_CORES * count / n_devices,
-            fail_devices_at=tuple(by_cell.get(cell, ()))))
+            fail_devices_at=tuple(by_cell.get(cell, ())),
+            mode=mode, region=base // region_devices))
     return specs
 
 
@@ -201,7 +257,7 @@ def plan_cells(n_devices: int, seed: int = 0,
 def _build_cell(config: PlatformConfig, scenario, spec: CellSpec,
                 constants: PaperConstants, total_devices: int,
                 runner_kwargs: Dict) -> Tuple[ScenarioRunner, CellBoundary]:
-    boundary = CellBoundary(spec.index)
+    boundary = CellBoundary(spec.index, region=spec.region)
     runner = ScenarioRunner(
         config, scenario, constants=constants,
         n_devices=spec.n_devices, seed=spec.seed,
@@ -352,6 +408,113 @@ class _Shard:
         }
 
 
+# -- cloud region workers (sharded cloud tier) --------------------------
+
+def _build_regions(region_specs, config, scenario, constants,
+                   total_devices: int, seed: int, n_regions: int) -> Dict:
+    from ..serverless.region import RegionGateway
+    return {region: RegionGateway(
+        config, scenario, constants, region=region, n_regions=n_regions,
+        region_devices=count, total_devices=total_devices, seed=seed)
+        for region, count in region_specs}
+
+
+def _region_worker_main(conn, config, scenario, region_specs, constants,
+                        total_devices: int, seed: int,
+                        n_regions: int) -> None:
+    """Cloud worker loop: build my regions, then serve call batches.
+
+    Protocol (parent -> worker): ``("serve", [(region, calls), ...])``
+    prices each region's batch on its virtual clock and replies
+    ``("served", completions)`` with ``(cell, seq, completion_s,
+    breakdown)`` tuples; ``("finish", None)`` replies ``("stats",
+    {region: stats})`` and exits.
+    """
+    gateways = _build_regions(region_specs, config, scenario, constants,
+                              total_devices, seed, n_regions)
+    try:
+        while True:
+            command, argument = conn.recv()
+            if command == "serve":
+                completions = []
+                for region, calls in argument:
+                    completions.extend(gateways[region].serve(calls))
+                conn.send(("served", completions))
+            elif command == "finish":
+                conn.send(("stats", {region: gateway.stats()
+                                     for region, gateway
+                                     in gateways.items()}))
+                return
+            else:
+                raise RuntimeError(f"unknown cloud command {command!r}")
+    except (EOFError, KeyboardInterrupt):
+        return
+
+
+class _CloudShard:
+    """Driver-side handle for one worker group of cloud regions.
+
+    Mirrors :class:`_Shard`'s process-with-in-process-fallback shape:
+    regions are the semantic unit and price identically wherever they
+    are scheduled, so worker grouping never changes the bytes.
+    """
+
+    def __init__(self, region_specs, config, scenario, constants,
+                 total_devices: int, seed: int, n_regions: int,
+                 in_process: bool):
+        self.regions = [region for region, _ in region_specs]
+        self._conn = None
+        self._process = None
+        self._gateways = None
+        self._served: List = []
+        if not in_process:
+            import multiprocessing
+            try:
+                parent_conn, child_conn = multiprocessing.Pipe()
+                process = multiprocessing.Process(
+                    target=_region_worker_main,
+                    args=(child_conn, config, scenario, region_specs,
+                          constants, total_devices, seed, n_regions),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._conn = parent_conn
+                self._process = process
+            except (OSError, ValueError):
+                self._conn = None  # no fork/spawn available here
+        if self._conn is None:
+            self._gateways = _build_regions(
+                region_specs, config, scenario, constants,
+                total_devices, seed, n_regions)
+
+    def send_serve(self, grouped) -> None:
+        """``grouped`` is a list of (region, canonical-order calls)."""
+        if self._conn is not None:
+            self._conn.send(("serve", grouped))
+            return
+        for region, calls in grouped:
+            self._served.extend(self._gateways[region].serve(calls))
+
+    def collect_serve(self) -> List:
+        if self._conn is not None:
+            kind, completions = self._conn.recv()
+            assert kind == "served"
+            return completions
+        completions, self._served = self._served, []
+        return completions
+
+    def finish(self) -> Dict:
+        if self._conn is not None:
+            self._conn.send(("finish", None))
+            kind, stats = self._conn.recv()
+            assert kind == "stats"
+            self._conn.close()
+            self._process.join(timeout=60)
+            return stats
+        return {region: gateway.stats()
+                for region, gateway in self._gateways.items()}
+
+
 # -- merge helpers ------------------------------------------------------
 
 def _merge_latencies(results: List[Tuple[int, RunResult, List[CloudCall]]],
@@ -394,9 +557,16 @@ def _merge_latencies(results: List[Tuple[int, RunResult, List[CloudCall]]],
     return latencies, breakdowns
 
 
-def _merge_extras(results, gateway: CloudGateway, makespan: float,
+def _merge_extras(results, cloud_stats: Dict, makespan: float,
                   window_s: float, shards: int,
                   workers: int) -> Tuple[Dict, bool]:
+    """Merge per-cell extras with the cloud tier's counters.
+
+    ``cloud_stats`` carries the cloud-side keys (``cloud_completions``,
+    ``cloud_makespan_s``, ``persisted_documents``, ``cold_starts``, plus
+    any region/hybrid accounting) from either the monolithic gateway or
+    the summed per-region gateways.
+    """
     ordered = [result for _, result, _ in results]
     from ..learning.accuracy import DetectionTally
     tally = DetectionTally()
@@ -416,17 +586,14 @@ def _merge_extras(results, gateway: CloudGateway, makespan: float,
         "targets": sum(r.extras["targets"] for r in ordered),
         "recognition_tier": first["recognition_tier"],
         "cloud_fraction": first["cloud_fraction"],
-        "persisted_documents": gateway.persisted_documents,
         "tally": tally,
         "failed_devices": failed,
-        "cold_starts": gateway.cold_starts,
         "cells": len(ordered),
         "shards": shards,
         "shard_workers": workers,
         "window_s": window_s,
-        "cloud_completions": gateway.completions,
-        "cloud_makespan_s": gateway.last_completion_s,
     }
+    extras.update(cloud_stats)
     if "unique_people" in first:
         extras["unique_people"] = sum(
             r.extras["unique_people"] for r in ordered)
@@ -456,10 +623,23 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                 window_s: Optional[float] = None,
                 constants: PaperConstants = DEFAULT,
                 device_faults: Sequence[Tuple[int, float]] = (),
+                cloud_shards: int = 0,
+                region_devices: int = DEFAULT_REGION_DEVICES,
+                exact_devices: Optional[int] = None,
                 **runner_kwargs) -> RunResult:
     """Run one scenario with the swarm decomposed into cells over
     ``shards`` worker processes; returns a merged :class:`RunResult`
     byte-identical at any ``shards`` value.
+
+    ``cloud_shards >= 1`` additionally decomposes the *cloud* tier into
+    per-region controller slices (:class:`~repro.serverless.region.
+    RegionGateway`) scheduled over up to ``cloud_shards`` worker groups;
+    region membership is a pure function of the cell plan and
+    ``region_devices``, so rows are identical at any
+    ``(shards, cloud_shards)`` combination. ``exact_devices`` arms a
+    hybrid run: cells past the first ``exact_devices`` devices become
+    mean-field aggregates whose cloud load is injected as calibrated
+    synthetic streams (this implies a sharded cloud tier).
 
     ``runner_kwargs`` pass through to every cell's
     :class:`~repro.platforms.scenario_runner.ScenarioRunner` (e.g.
@@ -470,19 +650,120 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
+    if cloud_shards < 0:
+        raise ValueError("cloud_shards must be non-negative")
     if config.execution not in ("cloud_faas", "hybrid"):
         raise ValueError(
             "sharded execution requires a cloud-backed platform "
             f"(got execution={config.execution!r})")
+    if exact_devices is not None and cloud_shards == 0:
+        # Synthetic background streams are served by the regional tier;
+        # a hybrid run arms it implicitly at one worker group.
+        cloud_shards = 1
     specs = plan_cells(n_devices, seed=seed, cell_devices=cell_devices,
-                       device_faults=device_faults)
-    shards = min(shards, len(specs))
+                       device_faults=device_faults,
+                       exact_devices=exact_devices,
+                       region_devices=region_devices)
+    exact_specs = [spec for spec in specs if spec.mode == "exact"]
+    meanfield_specs = [spec for spec in specs
+                       if spec.mode == "meanfield"]
+    shards = min(shards, len(exact_specs))
     global_constants = constants.scaled_for_swarm(n_devices)
     window = resolve_window(global_constants, window_s)
     analytic = runner_kwargs.get("analytic_net")
-    gateway = CloudGateway(config, scenario, global_constants,
-                           n_devices=n_devices, seed=seed,
-                           analytic=analytic)
+    cloud_armed = cloud_shards >= 1
+    gateway = None
+    cloud_handles: List[_CloudShard] = []
+    handle_of_region: Dict[int, _CloudShard] = {}
+    from ..experiments.parallel import default_workers
+    if cloud_armed:
+        # One RegionGateway per region of the plan, grouped round-robin
+        # onto min(cloud_shards, cores) worker processes — the grouping
+        # is pure scheduling, the regions are the semantic unit.
+        region_counts: Dict[int, int] = {}
+        for spec in specs:
+            region_counts[spec.region] = (
+                region_counts.get(spec.region, 0) + spec.n_devices)
+        region_ids = sorted(region_counts)
+        n_regions = region_ids[-1] + 1
+        cloud_workers = max(1, min(cloud_shards, default_workers()))
+        cloud_groups: List[List[Tuple[int, int]]] = [
+            [] for _ in range(cloud_workers)]
+        for position, region in enumerate(region_ids):
+            cloud_groups[position % cloud_workers].append(
+                (region, region_counts[region]))
+        cloud_handles = [
+            _CloudShard(group, config, scenario, global_constants,
+                        n_devices, seed, n_regions,
+                        in_process=(cloud_workers == 1))
+            for group in cloud_groups if group]
+        for handle in cloud_handles:
+            for region in handle.regions:
+                handle_of_region[region] = handle
+    else:
+        cloud_workers = 0
+        gateway = CloudGateway(config, scenario, global_constants,
+                               n_devices=n_devices, seed=seed,
+                               analytic=analytic)
+
+    # Mean-field cells (hybrid): pre-price each aggregate cell's cloud
+    # load as a synthetic stream, fed into its owning region alongside
+    # the exact cells' calls in canonical order.
+    synthetic_by_region: Dict[int, List[CloudCall]] = {}
+    synthetic_cursor: Dict[int, int] = {}
+    synthetic_meter: List[Tuple[float, float]] = []
+    if meanfield_specs:
+        from ..edge.meanfield import synthetic_stream
+        slots = max(1, min(64, math.ceil(
+            MAX_SYNTHETIC_CALLS / len(meanfield_specs))))
+        for spec in meanfield_specs:
+            calls, events = synthetic_stream(
+                config, scenario, spec.n_devices, spec.index,
+                spec.device_id_base, n_devices, seed=seed,
+                constants=constants, slots=slots)
+            for call in calls:
+                call.region = spec.region
+            synthetic_by_region.setdefault(spec.region, []).extend(calls)
+            synthetic_meter.extend(events)
+        for region, calls in synthetic_by_region.items():
+            calls.sort(key=lambda call: call.sort_key)
+            synthetic_cursor[region] = 0
+
+    def take_synthetic(region: int, until: float) -> List[CloudCall]:
+        pending = synthetic_by_region.get(region)
+        if not pending:
+            return []
+        start = synthetic_cursor[region]
+        stop = start
+        while stop < len(pending) and pending[stop].arrival_s <= until:
+            stop += 1
+        synthetic_cursor[region] = stop
+        return pending[start:stop]
+
+    def serve_regions(batch: List[CloudCall], until: float) -> List:
+        """Route one canonical-order window to the owning regions."""
+        by_region: Dict[int, List[CloudCall]] = {}
+        for call in batch:
+            by_region.setdefault(call.region, []).append(call)
+        for region in list(synthetic_by_region):
+            fresh = take_synthetic(region, until)
+            if fresh:
+                merged = by_region.setdefault(region, [])
+                merged.extend(fresh)
+                merged.sort(key=lambda call: call.sort_key)
+        grouped_by_handle: Dict[int, List] = {}
+        for region, calls in sorted(by_region.items()):
+            handle = handle_of_region[region]
+            grouped_by_handle.setdefault(id(handle), []).append(
+                (region, calls))
+        involved = [handle for handle in cloud_handles
+                    if id(handle) in grouped_by_handle]
+        for handle in involved:
+            handle.send_serve(grouped_by_handle[id(handle)])
+        completions = []
+        for handle in involved:
+            completions.extend(handle.collect_serve())
+        return completions
 
     # Worker processes are capped by the cgroup-aware core count: on a
     # quota-limited container extra processes cannot add wall-clock and
@@ -490,10 +771,9 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     # collapse onto min(shards, cores) processes (one → in-process).
     # Results are unaffected — cells are the semantic unit and simulate
     # identically wherever they are scheduled.
-    from ..experiments.parallel import default_workers
     workers = max(1, min(shards, default_workers()))
     groups: List[List[CellSpec]] = [[] for _ in range(workers)]
-    for position, spec in enumerate(specs):
+    for position, spec in enumerate(exact_specs):
         groups[position % workers].append(spec)
     shard_handles = [
         _Shard(group, config, scenario, constants, n_devices,
@@ -503,8 +783,9 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     # Barrier loop: cells to t, exchange, cloud to t.
     finished: Dict[int, float] = {}
     fed_calls: List[CloudCall] = []
+    cloud_completions: List = []
     barrier = 0.0
-    while len(finished) < len(specs):
+    while len(finished) < len(exact_specs):
         barrier += window
         if barrier > MAX_HORIZON_S:
             raise RuntimeError(
@@ -518,11 +799,26 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
             batch.extend(fresh)
             finished.update(status)
         batch.sort(key=lambda call: call.sort_key)
-        gateway.feed(batch)
         fed_calls.extend(batch)
-        gateway.advance_to(barrier)
+        if cloud_armed:
+            cloud_completions.extend(serve_regions(batch, barrier))
+        else:
+            gateway.feed(batch)
+            gateway.advance_to(barrier)
 
-    cloud_done = gateway.drain()
+    if cloud_armed:
+        # Flush synthetic background arrivals past the last barrier (the
+        # mean-field fleet's mission can outlast the exact focus), then
+        # collect every region's counters.
+        cloud_completions.extend(serve_regions([], MAX_HORIZON_S))
+        region_stats: Dict[int, Dict] = {}
+        for handle in cloud_handles:
+            region_stats.update(handle.finish())
+        cloud_done = max(
+            (stats["last_completion_s"]
+             for stats in region_stats.values()), default=0.0)
+    else:
+        cloud_done = gateway.drain()
     makespan = max(max(finished.values()), cloud_done)
 
     tracer = obs.active_tracer()
@@ -543,16 +839,32 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                           replica=handle.specs[0].index)
     results.sort(key=lambda item: item[0])
 
-    # Worker-side call copies carry the edge half; the gateway finalized
-    # the cloud half on the driver's copies. Join them by (cell, seq)
-    # (a no-op for in-process shards, where both are the same object).
-    cloud_half = {(call.cell, call.seq): call for call in fed_calls}
-    for _, _, calls in results:
-        for call in calls:
-            done = cloud_half.get((call.cell, call.seq))
-            if done is not None and done is not call:
-                call.completion_s = done.completion_s
-                call.cloud_breakdown = done.cloud_breakdown
+    # Worker-side call copies carry the edge half; the cloud tier
+    # finalized the cloud half elsewhere. Join them by (cell, seq):
+    # region workers return completion tuples, the monolithic gateway
+    # finalized the driver's copies in place (a no-op for in-process
+    # shards, where both are the same object).
+    if cloud_armed:
+        completion_map = {(cell, seq): (done_s, breakdown)
+                          for cell, seq, done_s, breakdown
+                          in cloud_completions}
+        for call in fed_calls:
+            done = completion_map.get((call.cell, call.seq))
+            if done is not None:
+                call.completion_s, call.cloud_breakdown = done
+        for _, _, calls in results:
+            for call in calls:
+                done = completion_map.get((call.cell, call.seq))
+                if done is not None:
+                    call.completion_s, call.cloud_breakdown = done
+    else:
+        cloud_half = {(call.cell, call.seq): call for call in fed_calls}
+        for _, _, calls in results:
+            for call in calls:
+                done = cloud_half.get((call.cell, call.seq))
+                if done is not None and done is not call:
+                    call.completion_s = done.completion_s
+                    call.cloud_breakdown = done.cloud_breakdown
 
     name = f"{scenario.key}.{config.name}"
     latencies, breakdowns = _merge_latencies(results, name)
@@ -560,9 +872,43 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     for _, result, _ in results:
         for time, megabytes in result.wireless_meter.events:
             meter.record(time, megabytes)
+    for time, megabytes in synthetic_meter:
+        meter.record(time, megabytes)
     energy = [account for _, result, _ in results
               for account in result.energy_accounts]
-    extras, completed = _merge_extras(results, gateway, makespan,
+    if cloud_armed:
+        cloud_stats = {
+            "cloud_completions": sum(
+                stats["completions"] for stats in region_stats.values()),
+            "cloud_makespan_s": cloud_done,
+            "persisted_documents": sum(
+                stats["persisted_documents"]
+                for stats in region_stats.values()),
+            "cold_starts": sum(
+                stats["cold_starts"] for stats in region_stats.values()),
+            "warm_starts": sum(
+                stats["warm_starts"] for stats in region_stats.values()),
+            "duplicate_launches": sum(
+                stats["duplicate_launches"]
+                for stats in region_stats.values()),
+            "background_completions": sum(
+                stats["background_completions"]
+                for stats in region_stats.values()),
+            "cloud_regions": len(region_stats),
+            "cloud_shards": cloud_shards,
+            "cloud_shard_workers": cloud_workers,
+        }
+        if exact_devices is not None:
+            cloud_stats["exact_devices"] = exact_devices
+            cloud_stats["meanfield_cells"] = len(meanfield_specs)
+    else:
+        cloud_stats = {
+            "cloud_completions": gateway.completions,
+            "cloud_makespan_s": gateway.last_completion_s,
+            "persisted_documents": gateway.persisted_documents,
+            "cold_starts": gateway.cold_starts,
+        }
+    extras, completed = _merge_extras(results, cloud_stats, makespan,
                                       window, shards, workers)
     return RunResult(
         platform=config.name,

@@ -84,3 +84,38 @@ class TestParityBand:
         rows = validate_cells(sizes=(256,), tolerance_pct=25.0)
         bad = [r for r in rows if not r["within"]]
         assert not bad, f"outside the 25% band: {bad}"
+
+
+class TestHybridAnchor:
+    """Hybrid exact/mean-field runs inherit the 25% honesty band.
+
+    A hybrid run keeps a small exact focus and replaces the rest of the
+    fleet with calibrated synthetic streams, so its observables must
+    track a fully exact run of the same fleet no worse than the pure
+    mean-field model does.
+    """
+
+    def test_hybrid_within_band_of_exact_fleet(self):
+        from repro.apps import SCENARIO_A
+        from repro.platforms import ScenarioRunner, platform_config
+        from repro.sim.shard import run_sharded
+
+        config = platform_config("hivemind")
+        exact = ScenarioRunner(config, SCENARIO_A, seed=0,
+                               n_devices=64).run()
+        hybrid = run_sharded(config, SCENARIO_A, 64, seed=0,
+                             cell_devices=16, exact_devices=16,
+                             region_devices=32)
+        pairs = {
+            "bandwidth": (hybrid.bandwidth_summary()[0],
+                          exact.bandwidth_summary()[0]),
+            "p99": (hybrid.task_latencies.p99,
+                    exact.task_latencies.p99),
+            "makespan": (hybrid.extras["makespan_s"],
+                         exact.extras["makespan_s"]),
+        }
+        for name, (model, truth) in pairs.items():
+            deviation = 100.0 * abs(model - truth) / truth
+            assert deviation <= 25.0, (
+                f"{name}: hybrid {model} vs exact {truth} "
+                f"({deviation:.1f}% > 25%)")

@@ -30,8 +30,8 @@ class TestRegistry:
         expected = {"chaos", "fig01", "fig03a", "fig03b", "fig04",
                     "fig05a", "fig05b", "fig05c", "fig06a", "fig06b",
                     "fig06c", "fig11", "fig12", "fig13", "fig14", "fig15",
-                    "fig16", "fig17a", "fig17b", "fig17c", "fig18", "sweep",
-                    "sweep-validate"}
+                    "fig16", "fig17a", "fig17b", "fig17c", "fig17d",
+                    "fig18", "sweep", "sweep-validate"}
         assert set(experiment_ids()) == expected
 
     def test_unknown_experiment(self):

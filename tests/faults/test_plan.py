@@ -132,3 +132,68 @@ class TestPartition:
         before = plan.to_dict()
         plan.partition(256, cell_devices=64)
         assert plan.to_dict() == before  # source plan untouched
+
+
+class TestRegionPartition:
+    """Region-aware routing for the cloud-sharded runtime."""
+
+    def build(self):
+        plan = FaultPlan(name="regional", seed=11)
+        plan.server_crash(8.0, "server0")
+        plan.invoker_crash(12.0, "server9", reboot_s=2.0)
+        plan.couchdb_outage(20.0, 5.0)
+        plan.kafka_outage(25.0, 5.0)
+        plan.cloud_partition(30.0, 10.0)
+        plan.function_faults(0.0, 0.1)
+        return plan
+
+    def test_unregioned_partition_has_no_region_plans(self):
+        part = self.build().partition(1024, cell_devices=64)
+        assert part.region_devices is None
+        assert part.regions == {}
+        assert not part.region(0).armed  # accessor returns empty plan
+
+    def test_server_events_route_to_owning_region(self):
+        # 1024 devices / 512 per region -> 2 regions over 12 servers
+        # (contiguous split: region 0 owns servers 0-5, region 1 6-11).
+        part = self.build().partition(1024, cell_devices=64,
+                                      region_devices=512, n_servers=12)
+        r0_kinds = [e.kind for e in part.region(0).events]
+        r1_kinds = [e.kind for e in part.region(1).events]
+        assert "server_crash" in r0_kinds
+        assert "server_crash" not in r1_kinds
+        assert "invoker_crash" in r1_kinds  # server9 -> region 1
+        assert "invoker_crash" not in r0_kinds
+
+    def test_store_and_bus_outages_land_in_region_zero(self):
+        part = self.build().partition(1024, cell_devices=64,
+                                      region_devices=512, n_servers=12)
+        r0_kinds = part.region(0).kinds()
+        assert "couchdb_outage" in r0_kinds
+        assert "kafka_outage" in r0_kinds
+        assert "couchdb_outage" not in part.region(1).kinds()
+
+    def test_partition_windows_and_rates_replicate_to_all_regions(self):
+        part = self.build().partition(1024, cell_devices=64,
+                                      region_devices=512, n_servers=12)
+        for region in (0, 1):
+            kinds = part.region(region).kinds()
+            assert "cloud_partition" in kinds
+            assert "function_faults" in kinds
+
+    def test_legacy_cloud_plan_unchanged_by_region_routing(self):
+        plain = self.build().partition(1024, cell_devices=64)
+        regioned = self.build().partition(1024, cell_devices=64,
+                                          region_devices=512, n_servers=12)
+        assert (plain.cloud.sorted_events()
+                == regioned.cloud.sorted_events())
+
+    def test_more_regions_than_servers_maps_same_index(self):
+        plan = FaultPlan(name="tiny").server_crash(1.0, "server2")
+        part = plan.partition(64, cell_devices=4, region_devices=8,
+                              n_servers=4)
+        assert "server_crash" in part.region(2).kinds()
+
+    def test_bad_region_devices_rejected(self):
+        with pytest.raises(ValueError):
+            self.build().partition(1024, region_devices=0)

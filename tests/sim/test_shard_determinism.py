@@ -57,6 +57,82 @@ class TestShardCountInvariance:
                 assert observed == reference, (
                     f"{app_key}: rows differ at {shards} shards")
 
+
+#: (shards, cloud_shards) worker-grouping combinations — regions are a
+#: pure function of the plan, so every armed combo must merge to the
+#: exact same rows.
+CLOUD_COMBOS = ((1, 1), (2, 1), (2, 2), (4, 2))
+
+
+class TestCloudShardInvariance:
+    """Armed cloud tier: rows identical at any (shards, cloud_shards)."""
+
+    @pytest.mark.parametrize("app_key", ["S1", "S2", "S3"])
+    def test_rows_identical_across_combos(self, app_key):
+        scenario = scenario_variant(app_key)
+        config = platform_config("hivemind")
+        reference = None
+        for shards, cloud_shards in CLOUD_COMBOS:
+            result = run_sharded(config, scenario, N_DEVICES, seed=0,
+                                 shards=shards, cell_devices=CELL_DEVICES,
+                                 cloud_shards=cloud_shards,
+                                 region_devices=8)
+            observed = result_bytes(result)
+            if reference is None:
+                reference = observed
+            else:
+                assert observed == reference, (
+                    f"{app_key}: rows differ at shards={shards}, "
+                    f"cloud_shards={cloud_shards}")
+
+    def test_region_stats_surface_in_extras(self):
+        result = run_sharded(platform_config("hivemind"),
+                             scenario_variant("S1"), N_DEVICES, seed=0,
+                             shards=2, cell_devices=CELL_DEVICES,
+                             cloud_shards=2, region_devices=8)
+        assert result.extras["cloud_regions"] == 2
+        assert result.extras["cloud_shards"] == 2
+        assert result.extras["warm_starts"] + result.extras[
+            "cold_starts"] > 0
+
+    def test_negative_cloud_shards_rejected(self):
+        with pytest.raises(ValueError):
+            run_sharded(platform_config("hivemind"),
+                        scenario_variant("S1"), N_DEVICES,
+                        cloud_shards=-1)
+
+
+class TestHybridDeterminism:
+    """Hybrid exact/mean-field runs: fixed seed -> fixed rows."""
+
+    def test_same_seed_same_rows_any_grouping(self):
+        scenario = scenario_variant("S1")
+        config = platform_config("hivemind")
+        a = run_sharded(config, scenario, 64, seed=0, shards=2,
+                        cell_devices=16, exact_devices=16,
+                        region_devices=32)
+        b = run_sharded(config, scenario, 64, seed=0, shards=1,
+                        cell_devices=16, exact_devices=16,
+                        region_devices=32)
+        assert result_bytes(a) == result_bytes(b)
+        # The exact focus carries the rows; the background swarm shows
+        # up in the synthetic cloud counters.
+        assert a.extras["exact_devices"] == 16
+        assert a.extras["meanfield_cells"] == 3
+        assert a.extras["background_completions"] > 0
+
+    def test_hybrid_auto_arms_cloud_tier(self):
+        result = run_sharded(platform_config("hivemind"),
+                             scenario_variant("S1"), 32, seed=0,
+                             cell_devices=16, exact_devices=16,
+                             region_devices=32)
+        assert result.extras["cloud_shards"] == 1
+
+    def test_hybrid_needs_positive_exact_devices(self):
+        with pytest.raises(ValueError):
+            run_sharded(platform_config("hivemind"),
+                        scenario_variant("S1"), 32, exact_devices=0)
+
     def test_seed_changes_rows(self):
         scenario = scenario_variant("S1")
         config = platform_config("hivemind")
@@ -91,6 +167,8 @@ class TestUnarmedPath:
     def test_unarmed_swarm_cell_matches_seed(self, monkeypatch):
         monkeypatch.delenv("REPRO_SHARDS", raising=False)
         monkeypatch.delenv("REPRO_MEANFIELD", raising=False)
+        monkeypatch.delenv("REPRO_CLOUD_SHARDS", raising=False)
+        monkeypatch.delenv("REPRO_HYBRID_EXACT", raising=False)
         from repro.experiments.fig17_scalability import _swarm_cell
         # Frozen seed observables (hivemind, Scenario A, 16 devices,
         # seed 0) — any drift here means the unarmed path changed.
@@ -111,3 +189,20 @@ class TestUnarmedPath:
         assert flags.meanfield_enabled(False) is False
         with pytest.raises(ValueError):
             flags.shard_count(0)
+
+    def test_cloud_flag_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLOUD_SHARDS", raising=False)
+        monkeypatch.delenv("REPRO_HYBRID_EXACT", raising=False)
+        # Default off: monolithic cloud, every device exact.
+        assert flags.cloud_shard_count() == 0
+        assert flags.hybrid_exact_devices() == 0
+        monkeypatch.setenv("REPRO_CLOUD_SHARDS", "4")
+        monkeypatch.setenv("REPRO_HYBRID_EXACT", "256")
+        assert flags.cloud_shard_count() == 4
+        assert flags.hybrid_exact_devices() == 256
+        assert flags.cloud_shard_count(2) == 2
+        assert flags.hybrid_exact_devices(64) == 64
+        with pytest.raises(ValueError):
+            flags.cloud_shard_count(-1)
+        with pytest.raises(ValueError):
+            flags.hybrid_exact_devices(-8)
