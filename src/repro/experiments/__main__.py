@@ -39,7 +39,11 @@ population model (``REPRO_MEANFIELD=1`` equivalent; approximate);
 plus a ``<stem>.manifest.json`` run manifest;
 ``--profile-out PATH`` dumps per-replica cProfile stats to
 ``PATH.r<index>`` (works under the parallel executor, where ``--profile``
-alone can only see the coordinating process).
+alone can only see the coordinating process);
+``--chaos-workers [SPEC]`` kills/hangs real shard worker processes
+mid-run and asserts the supervised recovery merged rows byte-identical
+to an undisturbed twin (``--lanes``, ``--worker-deadline S``, and
+``--incidents-out PATH`` refine/record the sweep).
 """
 
 from __future__ import annotations
@@ -130,12 +134,34 @@ def main(argv=None) -> int:
                         help="sweep fault plans over the scenario apps and "
                              "emit a resilience report (exit 1 on any "
                              "invariant violation)")
+    parser.add_argument("--chaos-workers", nargs="?", const="", default=None,
+                        metavar="SPEC",
+                        help="kill/hang/slow real shard worker processes "
+                             "mid-run and assert byte-identical recovery "
+                             "against an undisturbed twin; optional SPEC "
+                             "overrides each lane's default fault script "
+                             "(action:scope:worker:op, comma-separated; "
+                             "exit 1 on any divergence or missed recovery)")
+    parser.add_argument("--lanes", metavar="NAMES", default=None,
+                        help="comma-separated lane names for "
+                             "--chaos-workers (default: sharded,"
+                             "cloud_sharded,hybrid)")
+    parser.add_argument("--worker-deadline", type=float, default=None,
+                        metavar="S",
+                        help="hang-detection deadline in seconds for "
+                             "supervised workers (sets "
+                             "REPRO_WORKER_DEADLINE=S; default: "
+                             "max(60s, barrier window))")
+    parser.add_argument("--incidents-out", metavar="PATH", default=None,
+                        help="write the --chaos-workers incident report "
+                             "(per-lane records + every WorkerIncident) "
+                             "as JSON to PATH")
     parser.add_argument("--plans", metavar="NAMES", default=None,
                         help="comma-separated fault-plan names for --chaos "
                              "(default: every named plan)")
     parser.add_argument("--scenarios", metavar="KEYS", default=None,
-                        help="comma-separated scenario keys for --chaos "
-                             "(default: S1,S2,S3)")
+                        help="comma-separated scenario keys for --chaos / "
+                             "--chaos-workers (default: S1,S2,S3 / S1)")
     parser.add_argument("--no-vector-edge", action="store_true",
                         help="fall back to the legacy per-device flight "
                              "processes (sets REPRO_VECTOR_EDGE=0)")
@@ -179,6 +205,8 @@ def main(argv=None) -> int:
         os.environ["REPRO_HYBRID_EXACT"] = str(args.hybrid_exact)
     if args.meanfield:
         os.environ["REPRO_MEANFIELD"] = "1"
+    if args.worker_deadline is not None:
+        os.environ["REPRO_WORKER_DEADLINE"] = str(args.worker_deadline)
     if args.trace_out:
         args.trace = True
     if args.trace:
@@ -229,6 +257,55 @@ def _export_trace(args) -> None:
           f"manifest at {manifest_path}]")
 
 
+def _dispatch_chaos_workers(args) -> int:
+    """Run the worker-chaos lanes; exit 0 only on full byte-parity."""
+    import json
+
+    options = {"base_seed": args.seed}
+    if args.scenarios:
+        options["scenarios"] = [
+            key.strip() for key in args.scenarios.split(",") if key]
+    if args.lanes:
+        options["lanes"] = [
+            name.strip() for name in args.lanes.split(",") if name]
+    if args.chaos_workers:  # non-empty SPEC overrides the lane defaults
+        options["faults"] = args.chaos_workers
+    if args.worker_deadline is not None:
+        options["deadline_s"] = args.worker_deadline
+    result = run_experiment("chaos-workers", **options)
+    print(result.render())
+    if args.csv:
+        print(f"[csv written to {write_csv(result, args.csv)}]")
+    if args.incidents_out:
+        payload = {
+            "records": result.data["records"],
+            "skipped": result.data["skipped"],
+            "identical_all": result.data["identical_all"],
+            "all_recovered": result.data["all_recovered"],
+            "total_incidents": result.data["total_incidents"],
+            "manifest": (result.manifest.to_dict()
+                         if result.manifest is not None else None),
+        }
+        target = pathlib.Path(args.incidents_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True,
+                      default=str)
+            handle.write("\n")
+        print(f"[incident report written to {target}]")
+    if result.data["skipped"]:
+        print("[worker chaos skipped: this environment cannot spawn "
+              "worker processes; nothing real to kill]")
+        return 0
+    identical = result.data["identical_all"]
+    recovered = result.data["all_recovered"]
+    print(f"[worker chaos: {result.data['total_incidents']} incidents "
+          f"recovered; byte-parity "
+          f"{'holds' if identical else 'BROKEN'}; recovery coverage "
+          f"{'complete' if recovered else 'INCOMPLETE'}]")
+    return 0 if identical and recovered else 1
+
+
 def _print_bench(records) -> None:
     for record in records:
         line = (f"{record['label']}: {record['wall_s']}s, "
@@ -243,6 +320,9 @@ def _print_bench(records) -> None:
 
 
 def _dispatch(args) -> int:
+    if args.chaos_workers is not None:
+        return _dispatch_chaos_workers(args)
+
     if args.chaos:
         from .chaos import DEFAULT_SCENARIOS, run as run_chaos
         options = {"base_seed": args.seed}

@@ -23,6 +23,7 @@ order; only the wall-clock differs.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import pickle
@@ -39,6 +40,7 @@ __all__ = [
     "TaskResult",
     "available_cpus",
     "default_workers",
+    "pool_degradations",
     "replica_seeds",
     "run_tasks",
     "run_replicas",
@@ -46,6 +48,8 @@ __all__ = [
     "total_events_consumed",
     "total_layer_counts",
 ]
+
+_LOG = logging.getLogger("repro.parallel")
 
 #: One (fn, args, kwargs) call description.
 Call = Tuple[Callable[..., Any], Tuple, Dict[str, Any]]
@@ -60,6 +64,27 @@ _POOL_EVENTS = [0]
 #: :data:`_POOL_EVENTS`: workers tally locally, deltas ship back in each
 #: TaskResult).
 _POOL_LAYERS: Dict[str, int] = {}
+
+#: Unique reasons the process pool degraded to serial execution in this
+#: process, in first-occurrence order. A silent fallback made bench
+#: records unattributable — the same figure could be timed with or
+#: without a pool and nothing said which — so each cause is logged once
+#: and recorded here for the :class:`~repro.obs.manifest.RunManifest`.
+_DEGRADATIONS: List[str] = []
+
+
+def pool_degradations() -> List[str]:
+    """Why (if at all) pooled execution fell back to serial here."""
+    return list(_DEGRADATIONS)
+
+
+def _note_degradation(cause: BaseException) -> None:
+    reason = f"{type(cause).__name__}: {cause}".strip().rstrip(":")
+    if reason not in _DEGRADATIONS:
+        _DEGRADATIONS.append(reason)
+        _LOG.warning(
+            "process pool unavailable; running tasks in-process (%s)",
+            reason)
 
 
 @dataclass(frozen=True)
@@ -228,8 +253,9 @@ def _try_pool(tasks: List[Tuple[int, Callable, Tuple, Dict]],
             # pool.map preserves input order, so results come back sorted
             # by task index no matter the completion order.
             results = list(pool.map(_timed_call, tasks))
-    except (OSError, BrokenExecutor):
-        return None  # no fork/spawn available here
+    except (OSError, BrokenExecutor) as error:
+        _note_degradation(error)  # no fork/spawn available here
+        return None
     _POOL_EVENTS[0] += sum(r.sim_events for r in results)
     for result in results:
         for layer, n in (result.layer_events or {}).items():

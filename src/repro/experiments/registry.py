@@ -24,13 +24,17 @@ from . import (
 )
 from .common import ExperimentResult
 from .. import obs
+from ..sim import supervisor
 from ..sim.accounting import layer_breakdown
-from .parallel import total_events_consumed, total_layer_counts
+from .parallel import (pool_degradations, total_events_consumed,
+                       total_layer_counts)
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "chaos": chaos.run,
+    # Worker chaos: SIGKILL/hang real shard workers, assert byte-parity.
+    "chaos-workers": chaos.run_workers,
     "fig01": fig01_treasure_hunt.run,
     "fig03a": fig03_network_overheads.run_breakdown,
     "fig03b": fig03_network_overheads.run_saturation,
@@ -78,6 +82,7 @@ def run_experiment(figure: str, **options) -> ExperimentResult:
             f"unknown experiment {figure!r}; valid: {experiment_ids()}")
     events_before = total_events_consumed()
     layers_before = total_layer_counts()
+    incident_mark = supervisor.incident_count()
     start = time.perf_counter()
     result = runner(**options)
     result.elapsed_s = time.perf_counter() - start
@@ -88,10 +93,21 @@ def run_experiment(figure: str, **options) -> ExperimentResult:
          for layer in layers_after},
         result.sim_events)
     tracer = obs.active_tracer()
+    # Anomalies stay out of the manifest unless they happened: absent
+    # keys keep undisturbed manifests byte-comparable across revisions.
+    extra: Dict[str, object] = {}
+    degraded = pool_degradations()
+    if degraded:
+        extra["pool_degradations"] = degraded
+    incidents = supervisor.incidents_since(incident_mark)
+    if incidents:
+        extra["worker_incidents"] = [i.to_dict() for i in incidents]
+        extra["worker_recoveries"] = len(incidents)
     result.manifest = obs.RunManifest.collect(
         figure, seed=options.get("base_seed"),
         elapsed_s=result.elapsed_s,
         sim_events=result.sim_events,
         layer_events=dict(result.layer_events),
-        spans=len(tracer) if tracer is not None else 0)
+        spans=len(tracer) if tracer is not None else 0,
+        extra=extra)
     return result

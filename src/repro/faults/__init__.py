@@ -29,6 +29,7 @@ from .injector import FaultInjector
 from .plan import (FaultEvent, FaultPlan, PartitionedPlan,
                    named_plan, plan_names)
 from .report import RecoveryLog, ResilienceReport
+from .worker import WorkerFault, WorkerFaultPlan
 
 __all__ = [
     "FaultEvent",
@@ -39,6 +40,8 @@ __all__ = [
     "ResilienceReport",
     "Violation",
     "PartitionedPlan",
+    "WorkerFault",
+    "WorkerFaultPlan",
     "named_plan",
     "plan_names",
 ]

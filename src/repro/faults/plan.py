@@ -190,10 +190,11 @@ class FaultPlan:
         unchanged): server/invoker crashes route to the region owning
         that server under the contiguous
         :func:`repro.serverless.region.region_server_count` split;
-        CouchDB/Kafka outages land in region 0 (their builders carry no
-        target — the model keeps one canonical store/bus shard);
-        cloud-partition windows and function-fault rates replicate to
-        every region. ``n_servers`` defaults to the swarm-scaled cluster
+        CouchDB/Kafka outage windows replicate to every region (each
+        region owns a proportional shard of the store/bus, so the
+        outage stalls all of them — parity with the monolithic
+        gateway); cloud-partition windows and function-fault rates
+        replicate to every region. ``n_servers`` defaults to the swarm-scaled cluster
         size — pass it when partitioning for a custom cluster.
 
         Pure data in, pure data out: the method never touches simulation
@@ -262,7 +263,13 @@ class FaultPlan:
                     region_plan(_owning_region(
                         server, n_regions, n_servers)).add(event)
                 elif event.kind in ("couchdb_outage", "kafka_outage"):
-                    region_plan(0).add(event)
+                    # Every region owns a proportional shard of the
+                    # store/bus, so an outage window stalls all of them
+                    # — routing to region 0 only (the pre-supervision
+                    # behaviour) under-injected cloud-sharded chaos runs
+                    # versus the monolithic gateway.
+                    for region in range(n_regions):
+                        region_plan(region).add(event)
                 else:  # function_faults — a platform-wide rate.
                     for region in range(n_regions):
                         region_plan(region).add(event)

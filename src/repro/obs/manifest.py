@@ -43,13 +43,21 @@ def runtime_flags() -> Dict[str, Any]:
     from . import tracing_enabled
     from ..sim.flags import (analytic_net_enabled, batched_rng_enabled,
                              fast_dispatch_enabled)
-    return {
+    from ..sim.flags import chaos_workers
+    flags = {
         "vector_edge": os.environ.get("REPRO_VECTOR_EDGE", "1") != "0",
         "analytic_net": analytic_net_enabled(),
         "fast_dispatch": fast_dispatch_enabled(),
         "batched_rng": batched_rng_enabled(),
         "trace": tracing_enabled(),
     }
+    # Armed worker chaos is part of a run's provenance (it perturbs
+    # wall-clock and accounting); unarmed runs stay unstamped so
+    # existing manifests compare clean.
+    chaos_spec = chaos_workers()
+    if chaos_spec:
+        flags["chaos_workers"] = chaos_spec
+    return flags
 
 
 @dataclass

@@ -63,7 +63,8 @@ from ..config import PaperConstants
 from ..telemetry import LatencyBreakdown, MetricSeries
 from .gateway import GATEWAY_SEED_OFFSET
 
-__all__ = ["RegionGateway", "region_server_count"]
+__all__ = ["RegionGateway", "region_server_count",
+           "region_server_offset"]
 
 #: Straggler-mitigation mirror constants — keep in lockstep with
 #: :class:`repro.core.StragglerMitigator`.
@@ -90,6 +91,21 @@ def region_server_count(region: int, n_regions: int, n_servers: int) -> int:
         return 1
     base, extra = divmod(n_servers, n_regions)
     return base + (1 if region < extra else 0)
+
+
+def region_server_offset(region: int, n_regions: int,
+                         n_servers: int) -> int:
+    """First *global* backend server index owned by ``region`` under the
+    same contiguous split as :func:`region_server_count` (when regions
+    outnumber servers, region ``r`` maps to logical server
+    ``min(r, n_servers - 1)``). Used to translate a fault plan's global
+    server targets into a region's local server indices."""
+    if not 0 <= region < n_regions:
+        raise ValueError(f"region {region} outside 0..{n_regions - 1}")
+    if n_regions >= n_servers:
+        return min(region, n_servers - 1)
+    base, extra = divmod(n_servers, n_regions)
+    return region * base + min(region, extra)
 
 
 class RegionGateway:
@@ -176,10 +192,16 @@ class RegionGateway:
             1, math.ceil(cst.concurrency_limit / n_regions))
         self._admitted: List[float] = []
 
-        #: Chaos outage windows (set from a region-partitioned fault
-        #: plan); no CouchDB/Kafka operation starts before these.
-        self.couchdb_outage_until = 0.0
-        self.kafka_outage_until = 0.0
+        #: Chaos outage windows ``(start_s, end_s)`` from a
+        #: region-partitioned fault plan (:meth:`apply_fault_plan`): a
+        #: CouchDB/Kafka operation landing inside a window is pushed to
+        #: its end; operations before the window are untouched.
+        self._couch_outages: List[Tuple[float, float]] = []
+        self._kafka_outages: List[Tuple[float, float]] = []
+        self._total_servers = constants.cluster.servers
+        #: Backend fault-plan events this region actually armed
+        #: (outage windows + local server crashes).
+        self.injected_faults = 0
 
         self.recognition_spec = scenario.recognition.function_spec()
         self.dedup_spec = (scenario.dedup.function_spec()
@@ -201,11 +223,60 @@ class RegionGateway:
         self.duplicate_launches = 0
         self._last_arrival = 0.0
 
+    # -- chaos arming ---------------------------------------------------
+    def apply_fault_plan(self, plan) -> None:
+        """Arm this region's slice of a partitioned backend
+        :class:`~repro.faults.FaultPlan` (see
+        :meth:`~repro.faults.FaultPlan.partition`).
+
+        CouchDB/Kafka outages become shard-local stall windows;
+        server/invoker crashes put the targeted server (translated from
+        its global index to this region's local slice) on probation for
+        the reboot window (permanently for ``duration_s == 0``).
+        Network-layer and function-fault events are ignored here — in
+        exact runs those are injected by the cell-side network and
+        serverless layers, not the analytic regional model.
+        """
+        offset = region_server_offset(self.region, self.n_regions,
+                                      self._total_servers)
+        for event in plan.sorted_events():
+            if event.kind == "couchdb_outage":
+                self._couch_outages.append(
+                    (event.time, event.time + event.duration_s))
+                self.injected_faults += 1
+            elif event.kind == "kafka_outage":
+                self._kafka_outages.append(
+                    (event.time, event.time + event.duration_s))
+                self.injected_faults += 1
+            elif event.kind in ("server_crash", "invoker_crash"):
+                server = int("".join(
+                    ch for ch in str(event.target) if ch.isdigit()) or 0)
+                local = server - offset
+                if 0 <= local < self._n_servers:
+                    until = (math.inf if event.duration_s == 0
+                             else event.time + event.duration_s)
+                    self._probation_until[local] = max(
+                        self._probation_until[local], until)
+                    self.injected_faults += 1
+        self._couch_outages.sort()
+        self._kafka_outages.sort()
+
+    @staticmethod
+    def _after_outages(t: float,
+                       windows: List[Tuple[float, float]]) -> float:
+        """Push ``t`` past every outage window it lands in (windows are
+        sorted by start, so chained/overlapping windows cascade)."""
+        for start, end in windows:
+            if start <= t < end:
+                t = end
+        return t
+
     # -- resource primitives -------------------------------------------
     def _couch_serve(self, t: float, duration: float) -> float:
         """One store operation of fixed ``duration`` (auth checks)."""
-        grant = max(t, self._couch_work / self._couch_slots,
-                    self.couchdb_outage_until)
+        grant = max(t, self._couch_work / self._couch_slots)
+        if self._couch_outages:
+            grant = self._after_outages(grant, self._couch_outages)
         self._couch_work += duration
         return grant + duration
 
@@ -343,7 +414,9 @@ class RegionGateway:
             breakdown.charge("data_io", t - share_start)
         # Kafka hop to the invoker's topic.
         hop_start = t
-        t = max(t + cst.kafka_hop_s, self.kafka_outage_until)
+        t += cst.kafka_hop_s
+        if self._kafka_outages:
+            t = self._after_outages(t, self._kafka_outages)
         breakdown.charge("management", t - hop_start)
         # Container: keepalive'd warm claim, else a cold start.
         if container is None:
@@ -501,4 +574,5 @@ class RegionGateway:
             "cold_starts": self.cold_starts,
             "warm_starts": self.warm_starts,
             "duplicate_launches": self.duplicate_launches,
+            "injected_faults": self.injected_faults,
         }

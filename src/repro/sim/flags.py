@@ -24,6 +24,12 @@ The scale-out knobs (``REPRO_SHARDS``, ``REPRO_CLOUD_SHARDS``,
 they default to **off**, so unarmed runs stay byte-identical to the
 seed, and arming them opts into the sharded/aggregate runtimes of
 :mod:`repro.sim.shard` and :mod:`repro.edge.meanfield`.
+
+The supervision knobs (``REPRO_WORKER_DEADLINE``,
+``REPRO_WORKER_RETRIES``, ``REPRO_CHAOS_WORKERS``) tune the worker
+watchdog of :mod:`repro.sim.supervisor`; only the chaos spec changes
+behaviour when armed (it injects real process faults), and it too
+defaults to off.
 """
 
 from __future__ import annotations
@@ -39,6 +45,9 @@ __all__ = [
     "cloud_shard_count",
     "hybrid_exact_devices",
     "meanfield_enabled",
+    "worker_deadline",
+    "worker_retries",
+    "chaos_workers",
 ]
 
 
@@ -129,6 +138,59 @@ def hybrid_exact_devices(override: Optional[int] = None) -> int:
         return 0
     count = int(configured)
     return count if count >= 0 else 0
+
+
+def worker_deadline(override: Optional[float] = None) -> Optional[float]:
+    """Resolve the worker reply deadline (``REPRO_WORKER_DEADLINE``).
+
+    Returns the deadline in wall seconds, or ``None`` when neither an
+    explicit argument nor the environment sets one — the caller
+    (:func:`repro.sim.supervisor.resolve_worker_deadline`) then derives
+    ``max(60 s, lookahead window)``.
+    """
+    if override is not None:
+        value = float(override)
+        if value <= 0:
+            raise ValueError("worker deadline must be positive")
+        return value
+    configured = os.environ.get("REPRO_WORKER_DEADLINE", "")
+    if not configured:
+        return None
+    value = float(configured)
+    if value <= 0:
+        raise ValueError("REPRO_WORKER_DEADLINE must be positive")
+    return value
+
+
+def worker_retries(override: Optional[int] = None) -> int:
+    """Resolve the respawn retry budget (``REPRO_WORKER_RETRIES``).
+
+    Defaults to 2 respawn attempts per incident before the supervisor
+    degrades the worker to in-process execution. ``0`` skips respawning
+    entirely (straight to in-process recovery).
+    """
+    if override is not None:
+        if override < 0:
+            raise ValueError("worker retries must be non-negative")
+        return int(override)
+    configured = os.environ.get("REPRO_WORKER_RETRIES", "")
+    if not configured:
+        return 2
+    count = int(configured)
+    return count if count >= 0 else 0
+
+
+def chaos_workers(override: Optional[str] = None) -> str:
+    """Resolve the worker-chaos spec (``REPRO_CHAOS_WORKERS``).
+
+    Defaults to **off** (empty string — no harness faults, unarmed runs
+    byte-identical to the seed). A non-empty value is a
+    :meth:`repro.faults.worker.WorkerFaultPlan.parse` spec, e.g.
+    ``kill:shard:0:2,hang:shard:1:3``.
+    """
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_CHAOS_WORKERS", "")
 
 
 def meanfield_enabled(override: Optional[bool] = None) -> bool:

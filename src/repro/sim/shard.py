@@ -56,8 +56,12 @@ from ..platforms.scenario_runner import CLOUD_BUDGET_CORES, ScenarioRunner
 from ..serverless.gateway import CloudGateway
 from ..telemetry import (BandwidthMeter, BreakdownAggregate,
                          LatencyBreakdown, MetricSeries)
-from . import kernel
+from ..faults.worker import WorkerFaultPlan
+from . import flags, kernel
 from .accounting import layer_counts
+from .supervisor import (ProtocolError, SupervisedConnection, chaos_pause,
+                         incident_count, incidents_since,
+                         resolve_worker_deadline, resolve_worker_retries)
 
 __all__ = ["CellSpec", "CloudCall", "CellBoundary", "plan_cells",
            "run_sharded", "DEFAULT_CELL_DEVICES", "DEFAULT_WINDOW_S",
@@ -93,6 +97,11 @@ MAX_HORIZON_S = 1e8
 #: hybrid run; per-cell slots shrink as the background fleet grows so a
 #: 1M-device background prices into a bounded stream.
 MAX_SYNTHETIC_CALLS = 4096
+
+#: Supervision deadline when a handle is constructed directly;
+#: :func:`run_sharded` derives the real one from the barrier window via
+#: :func:`repro.sim.supervisor.resolve_worker_deadline`.
+DEADLINE_FALLBACK_S = 60.0
 
 
 @dataclass(frozen=True)
@@ -273,15 +282,21 @@ def _build_cell(config: PlatformConfig, scenario, spec: CellSpec,
 
 def _worker_main(conn, config: PlatformConfig, scenario,
                  specs: List[CellSpec], constants: PaperConstants,
-                 total_devices: int, runner_kwargs: Dict) -> None:
+                 total_devices: int, runner_kwargs: Dict,
+                 faults: Tuple[Tuple[str, int, float], ...] = ()) -> None:
     """Shard worker loop: build my cells, then serve barrier commands.
 
     Protocol (parent -> worker): ``("advance", t)`` steps every cell to
-    barrier ``t`` and replies ``("calls", fresh_calls, status)`` where
+    barrier ``t`` and replies ``("calls", (fresh_calls, status))`` where
     ``status`` maps cell index to its makespan once finished;
     ``("finish", duration)`` finalizes every cell and replies
     ``("result", payload)`` with the cells' RunResults, complete call
     ledgers, shipped spans, and kernel-event deltas, then exits.
+
+    ``faults`` carries worker-side chaos triples (hang/slow, see
+    :meth:`repro.faults.worker.WorkerFaultPlan.worker_side`), applied
+    via :func:`repro.sim.supervisor.chaos_pause` before handling the
+    matching command. Recovery respawns pass ``()``.
     """
     tracer = obs.active_tracer()
     spans_before = len(tracer) if tracer is not None else 0
@@ -290,9 +305,12 @@ def _worker_main(conn, config: PlatformConfig, scenario,
     cells = [(spec, *_build_cell(config, scenario, spec, constants,
                                  total_devices, runner_kwargs))
              for spec in specs]
+    op = 0
     try:
         while True:
             command, argument = conn.recv()
+            op += 1
+            chaos_pause(faults, op)
             if command == "advance":
                 status = {}
                 fresh: List[CloudCall] = []
@@ -301,7 +319,7 @@ def _worker_main(conn, config: PlatformConfig, scenario,
                     fresh.extend(boundary.take_fresh())
                     if runner.finished:
                         status[spec.index] = runner.makespan
-                conn.send(("calls", fresh, status))
+                conn.send(("calls", (fresh, status)))
             elif command == "finish":
                 layers_after = layer_counts()
                 payload = {
@@ -319,122 +337,168 @@ def _worker_main(conn, config: PlatformConfig, scenario,
                 conn.send(("result", payload))
                 return
             else:
-                raise RuntimeError(f"unknown shard command {command!r}")
-    except (EOFError, KeyboardInterrupt):
+                raise ProtocolError(f"unknown shard command {command!r}")
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
         return
+    finally:
+        conn.close()
+
+
+class _LocalCells:
+    """In-process executor for one shard's cells.
+
+    The fallback arm of the supervised handle — serves the same
+    ``request(command, argument) -> payload`` shapes as
+    :func:`_worker_main`, so :class:`~repro.sim.supervisor.
+    SupervisedConnection` can replay a dead worker's journal onto it
+    verbatim. Used when one worker collapses to in-process scheduling,
+    when no process can be spawned, and as the end of the degradation
+    ladder after the respawn retry budget.
+    """
+
+    def __init__(self, config, scenario, specs: List[CellSpec],
+                 constants, total_devices: int, runner_kwargs: Dict):
+        self._cells = [
+            (spec, *_build_cell(config, scenario, spec, constants,
+                                total_devices, runner_kwargs))
+            for spec in specs]
+
+    def request(self, command: str, argument) -> object:
+        if command == "advance":
+            status = {}
+            fresh: List[CloudCall] = []
+            for spec, runner, boundary in self._cells:
+                runner.advance_to(argument)
+                fresh.extend(boundary.take_fresh())
+                if runner.finished:
+                    status[spec.index] = runner.makespan
+            return fresh, status
+        if command == "finish":
+            return {
+                "results": [(spec.index,
+                             runner.finish(duration_override=argument),
+                             boundary.calls)
+                            for spec, runner, boundary in self._cells],
+                # In-process cells dispatch on this process's kernel
+                # counters, which total_events_consumed() already covers.
+                "sim_events": 0,
+                "layer_events": {},
+                "spans": None,  # already on this process's tracer
+            }
+        raise ProtocolError(f"unknown shard command {command!r}")
 
 
 class _Shard:
     """Driver-side handle for one scheduling group of cells.
 
-    Runs its cells in a worker process when one can be spawned, falling
-    back to in-process execution otherwise (sandboxes and test
-    environments routinely forbid ``fork``; both paths produce the same
-    bytes, see the module determinism contract).
+    Runs its cells in a worker process under a
+    :class:`~repro.sim.supervisor.SupervisedConnection` — deadline
+    watchdog, death/hang detection, deterministic journal-replay
+    recovery — falling back to in-process execution when no process can
+    be spawned (sandboxes and test environments routinely forbid
+    ``fork``) or when the respawn retry budget runs out. Every path
+    produces the same bytes, see the module determinism contract.
     """
 
     def __init__(self, specs: List[CellSpec], config, scenario,
                  constants, total_devices: int, runner_kwargs: Dict,
-                 in_process: bool):
+                 in_process: bool, worker_id: int = 0,
+                 faults: Optional[WorkerFaultPlan] = None,
+                 deadline_s: float = DEADLINE_FALLBACK_S,
+                 retries: int = 2):
         self.specs = specs
-        self._conn = None
-        self._process = None
-        self._cells = None
-        if not in_process:
+        faults = faults if faults is not None else WorkerFaultPlan()
+
+        def spawn(worker_side_faults):
             import multiprocessing
-            try:
-                parent_conn, child_conn = multiprocessing.Pipe()
-                process = multiprocessing.Process(
-                    target=_worker_main,
-                    args=(child_conn, config, scenario, specs, constants,
-                          total_devices, runner_kwargs),
-                    daemon=True)
-                process.start()
-                child_conn.close()
-                self._conn = parent_conn
-                self._process = process
-            except (OSError, ValueError):
-                self._conn = None  # no fork/spawn available here
-        if self._conn is None:
-            self._cells = [
-                (spec, *_build_cell(config, scenario, spec, constants,
-                                    total_devices, runner_kwargs))
-                for spec in specs]
+            parent_conn, child_conn = multiprocessing.Pipe()
+            process = multiprocessing.Process(
+                target=_worker_main,
+                args=(child_conn, config, scenario, specs, constants,
+                      total_devices, runner_kwargs, worker_side_faults),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            return parent_conn, process
+
+        self.sup = SupervisedConnection(
+            name=f"shard{worker_id}",
+            spawn=spawn,
+            replies={"advance": "calls", "finish": "result"},
+            fallback=lambda: _LocalCells(config, scenario, specs,
+                                         constants, total_devices,
+                                         runner_kwargs),
+            deadline_s=deadline_s,
+            retries=retries,
+            kill_ops=faults.kill_ops("shard", worker_id),
+            worker_side_faults=faults.worker_side("shard", worker_id),
+            in_process=in_process)
 
     @property
     def in_process(self) -> bool:
-        return self._cells is not None
+        return self.sup.in_process
 
     def send_advance(self, until: float) -> None:
-        if self._conn is not None:
-            self._conn.send(("advance", until))
+        self.sup.send("advance", until)
 
     def collect_advance(self, until: float
                         ) -> Tuple[List[CloudCall], Dict[int, float]]:
-        if self._conn is not None:
-            kind, fresh, status = self._conn.recv()
-            assert kind == "calls"
-            return fresh, status
-        status = {}
-        fresh: List[CloudCall] = []
-        for spec, runner, boundary in self._cells:
-            runner.advance_to(until)
-            fresh.extend(boundary.take_fresh())
-            if runner.finished:
-                status[spec.index] = runner.makespan
-        return fresh, status
+        return self.sup.collect()
 
     def send_finish(self, duration: float) -> None:
-        if self._conn is not None:
-            self._conn.send(("finish", duration))
+        self.sup.send("finish", duration)
 
     def collect_finish(self, duration: float) -> Dict:
-        if self._conn is not None:
-            kind, payload = self._conn.recv()
-            assert kind == "result"
-            self._conn.close()
-            self._process.join(timeout=60)
-            return payload
-        return {
-            "results": [(spec.index,
-                         runner.finish(duration_override=duration),
-                         boundary.calls)
-                        for spec, runner, boundary in self._cells],
-            # In-process cells dispatch on this process's kernel counters,
-            # which total_events_consumed() already covers.
-            "sim_events": 0,
-            "layer_events": {},
-            "spans": None,  # already on this process's tracer
-        }
+        return self.sup.collect()
+
+    def close(self) -> None:
+        self.sup.close()
 
 
 # -- cloud region workers (sharded cloud tier) --------------------------
 
 def _build_regions(region_specs, config, scenario, constants,
-                   total_devices: int, seed: int, n_regions: int) -> Dict:
+                   total_devices: int, seed: int, n_regions: int,
+                   region_plans: Optional[Dict] = None) -> Dict:
     from ..serverless.region import RegionGateway
-    return {region: RegionGateway(
-        config, scenario, constants, region=region, n_regions=n_regions,
-        region_devices=count, total_devices=total_devices, seed=seed)
-        for region, count in region_specs}
+    gateways = {}
+    for region, count in region_specs:
+        gateway = RegionGateway(
+            config, scenario, constants, region=region,
+            n_regions=n_regions, region_devices=count,
+            total_devices=total_devices, seed=seed)
+        plan = (region_plans or {}).get(region)
+        if plan is not None and plan.armed:
+            gateway.apply_fault_plan(plan)
+        gateways[region] = gateway
+    return gateways
 
 
 def _region_worker_main(conn, config, scenario, region_specs, constants,
-                        total_devices: int, seed: int,
-                        n_regions: int) -> None:
+                        total_devices: int, seed: int, n_regions: int,
+                        region_plans: Optional[Dict] = None,
+                        faults: Tuple[Tuple[str, int, float], ...] = ()
+                        ) -> None:
     """Cloud worker loop: build my regions, then serve call batches.
 
     Protocol (parent -> worker): ``("serve", [(region, calls), ...])``
     prices each region's batch on its virtual clock and replies
     ``("served", completions)`` with ``(cell, seq, completion_s,
     breakdown)`` tuples; ``("finish", None)`` replies ``("stats",
-    {region: stats})`` and exits.
+    {region: stats})`` and exits. ``region_plans`` maps region index to
+    its partitioned backend :class:`~repro.faults.FaultPlan` (simulated
+    faults — kept across respawns); ``faults`` carries worker-side chaos
+    triples (harness faults — disarmed on respawn).
     """
     gateways = _build_regions(region_specs, config, scenario, constants,
-                              total_devices, seed, n_regions)
+                              total_devices, seed, n_regions,
+                              region_plans)
+    op = 0
     try:
         while True:
             command, argument = conn.recv()
+            op += 1
+            chaos_pause(faults, op)
             if command == "serve":
                 completions = []
                 for region, calls in argument:
@@ -446,73 +510,99 @@ def _region_worker_main(conn, config, scenario, region_specs, constants,
                                      in gateways.items()}))
                 return
             else:
-                raise RuntimeError(f"unknown cloud command {command!r}")
-    except (EOFError, KeyboardInterrupt):
+                raise ProtocolError(f"unknown cloud command {command!r}")
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
         return
+    finally:
+        conn.close()
+
+
+class _LocalRegions:
+    """In-process executor for one worker group of cloud regions
+    (the supervised handle's fallback arm; payload shapes match
+    :func:`_region_worker_main`)."""
+
+    def __init__(self, region_specs, config, scenario, constants,
+                 total_devices: int, seed: int, n_regions: int,
+                 region_plans: Optional[Dict] = None):
+        self._gateways = _build_regions(
+            region_specs, config, scenario, constants, total_devices,
+            seed, n_regions, region_plans)
+
+    def request(self, command: str, argument) -> object:
+        if command == "serve":
+            completions: List = []
+            for region, calls in argument:
+                completions.extend(self._gateways[region].serve(calls))
+            return completions
+        if command == "finish":
+            return {region: gateway.stats()
+                    for region, gateway in self._gateways.items()}
+        raise ProtocolError(f"unknown cloud command {command!r}")
 
 
 class _CloudShard:
     """Driver-side handle for one worker group of cloud regions.
 
-    Mirrors :class:`_Shard`'s process-with-in-process-fallback shape:
+    Mirrors :class:`_Shard`'s supervised process-with-fallback shape:
     regions are the semantic unit and price identically wherever they
-    are scheduled, so worker grouping never changes the bytes.
+    are scheduled, so worker grouping — and supervised recovery — never
+    changes the bytes.
     """
 
     def __init__(self, region_specs, config, scenario, constants,
                  total_devices: int, seed: int, n_regions: int,
-                 in_process: bool):
+                 in_process: bool, worker_id: int = 0,
+                 faults: Optional[WorkerFaultPlan] = None,
+                 deadline_s: float = DEADLINE_FALLBACK_S,
+                 retries: int = 2,
+                 region_plans: Optional[Dict] = None):
         self.regions = [region for region, _ in region_specs]
-        self._conn = None
-        self._process = None
-        self._gateways = None
-        self._served: List = []
-        if not in_process:
+        faults = faults if faults is not None else WorkerFaultPlan()
+
+        def spawn(worker_side_faults):
             import multiprocessing
-            try:
-                parent_conn, child_conn = multiprocessing.Pipe()
-                process = multiprocessing.Process(
-                    target=_region_worker_main,
-                    args=(child_conn, config, scenario, region_specs,
-                          constants, total_devices, seed, n_regions),
-                    daemon=True)
-                process.start()
-                child_conn.close()
-                self._conn = parent_conn
-                self._process = process
-            except (OSError, ValueError):
-                self._conn = None  # no fork/spawn available here
-        if self._conn is None:
-            self._gateways = _build_regions(
-                region_specs, config, scenario, constants,
-                total_devices, seed, n_regions)
+            parent_conn, child_conn = multiprocessing.Pipe()
+            process = multiprocessing.Process(
+                target=_region_worker_main,
+                args=(child_conn, config, scenario, region_specs,
+                      constants, total_devices, seed, n_regions,
+                      region_plans, worker_side_faults),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            return parent_conn, process
+
+        self.sup = SupervisedConnection(
+            name=f"cloud{worker_id}",
+            spawn=spawn,
+            replies={"serve": "served", "finish": "stats"},
+            fallback=lambda: _LocalRegions(region_specs, config,
+                                           scenario, constants,
+                                           total_devices, seed,
+                                           n_regions, region_plans),
+            deadline_s=deadline_s,
+            retries=retries,
+            kill_ops=faults.kill_ops("cloud", worker_id),
+            worker_side_faults=faults.worker_side("cloud", worker_id),
+            in_process=in_process)
+
+    @property
+    def in_process(self) -> bool:
+        return self.sup.in_process
 
     def send_serve(self, grouped) -> None:
         """``grouped`` is a list of (region, canonical-order calls)."""
-        if self._conn is not None:
-            self._conn.send(("serve", grouped))
-            return
-        for region, calls in grouped:
-            self._served.extend(self._gateways[region].serve(calls))
+        self.sup.send("serve", grouped)
 
     def collect_serve(self) -> List:
-        if self._conn is not None:
-            kind, completions = self._conn.recv()
-            assert kind == "served"
-            return completions
-        completions, self._served = self._served, []
-        return completions
+        return self.sup.collect()
 
     def finish(self) -> Dict:
-        if self._conn is not None:
-            self._conn.send(("finish", None))
-            kind, stats = self._conn.recv()
-            assert kind == "stats"
-            self._conn.close()
-            self._process.join(timeout=60)
-            return stats
-        return {region: gateway.stats()
-                for region, gateway in self._gateways.items()}
+        return self.sup.request("finish", None)
+
+    def close(self) -> None:
+        self.sup.close()
 
 
 # -- merge helpers ------------------------------------------------------
@@ -626,6 +716,10 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                 cloud_shards: int = 0,
                 region_devices: int = DEFAULT_REGION_DEVICES,
                 exact_devices: Optional[int] = None,
+                fault_plan=None,
+                worker_faults: Optional[WorkerFaultPlan] = None,
+                worker_deadline_s: Optional[float] = None,
+                worker_retries: Optional[int] = None,
                 **runner_kwargs) -> RunResult:
     """Run one scenario with the swarm decomposed into cells over
     ``shards`` worker processes; returns a merged :class:`RunResult`
@@ -646,7 +740,24 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     ``frame_mb``, ``fps``, ``passes``, ``vector_edge``,
     ``analytic_net``). ``device_faults`` is a partitioned fault plan's
     device-crash schedule as (global index, time) pairs — see
-    :meth:`repro.faults.FaultPlan.partition`.
+    :meth:`repro.faults.FaultPlan.partition`. Alternatively pass a whole
+    :class:`~repro.faults.FaultPlan` as ``fault_plan`` and the driver
+    partitions it itself: device crashes route to their owning cells and
+    (in cloud-armed runs) backend events arm every
+    :class:`~repro.serverless.region.RegionGateway` via
+    :meth:`~repro.serverless.region.RegionGateway.apply_fault_plan`
+    (monolithic-gateway runs apply only the device-crash slice).
+
+    Worker supervision (:mod:`repro.sim.supervisor`): every worker pipe
+    is deadline-guarded (``worker_deadline_s`` /
+    ``REPRO_WORKER_DEADLINE``, default ``max(60 s, window)``), dead or
+    hung workers are respawned up to ``worker_retries`` times
+    (``REPRO_WORKER_RETRIES``, default 2) with their journal replayed,
+    then degraded to in-process execution — every recovery path yields
+    the same bytes. ``worker_faults`` (or ``REPRO_CHAOS_WORKERS``) arms
+    the chaos injector of :mod:`repro.faults.worker` against the real
+    worker processes; armed runs force one process per scheduling group
+    so there is a real process to kill.
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
@@ -660,6 +771,20 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
         # Synthetic background streams are served by the regional tier;
         # a hybrid run arms it implicitly at one worker group.
         cloud_shards = 1
+    if worker_faults is None:
+        chaos_spec = flags.chaos_workers()
+        worker_faults = (WorkerFaultPlan.parse(chaos_spec)
+                         if chaos_spec else WorkerFaultPlan())
+    chaos_armed = worker_faults.armed
+    retries = resolve_worker_retries(worker_retries)
+    partitioned = None
+    if fault_plan is not None and fault_plan.armed:
+        partitioned = fault_plan.partition(
+            n_devices, cell_devices=cell_devices,
+            region_devices=region_devices)
+        device_faults = (tuple(device_faults)
+                         + tuple(partitioned.device_crash_schedule()))
+    region_plans = partitioned.regions if partitioned is not None else None
     specs = plan_cells(n_devices, seed=seed, cell_devices=cell_devices,
                        device_faults=device_faults,
                        exact_devices=exact_devices,
@@ -670,23 +795,32 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     shards = min(shards, len(exact_specs))
     global_constants = constants.scaled_for_swarm(n_devices)
     window = resolve_window(global_constants, window_s)
+    deadline_s = resolve_worker_deadline(window, worker_deadline_s)
     analytic = runner_kwargs.get("analytic_net")
     cloud_armed = cloud_shards >= 1
     gateway = None
     cloud_handles: List[_CloudShard] = []
+    shard_handles: List[_Shard] = []
     handle_of_region: Dict[int, _CloudShard] = {}
+    incident_mark = incident_count()
     from ..experiments.parallel import default_workers
     if cloud_armed:
         # One RegionGateway per region of the plan, grouped round-robin
         # onto min(cloud_shards, cores) worker processes — the grouping
-        # is pure scheduling, the regions are the semantic unit.
+        # is pure scheduling, the regions are the semantic unit. Armed
+        # worker chaos forces one real process per group even where the
+        # core count would collapse them: the injector needs a live
+        # process to kill, and the bytes don't depend on the grouping.
         region_counts: Dict[int, int] = {}
         for spec in specs:
             region_counts[spec.region] = (
                 region_counts.get(spec.region, 0) + spec.n_devices)
         region_ids = sorted(region_counts)
         n_regions = region_ids[-1] + 1
-        cloud_workers = max(1, min(cloud_shards, default_workers()))
+        if chaos_armed:
+            cloud_workers = max(1, min(cloud_shards, len(region_ids)))
+        else:
+            cloud_workers = max(1, min(cloud_shards, default_workers()))
         cloud_groups: List[List[Tuple[int, int]]] = [
             [] for _ in range(cloud_workers)]
         for position, region in enumerate(region_ids):
@@ -695,8 +829,13 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
         cloud_handles = [
             _CloudShard(group, config, scenario, global_constants,
                         n_devices, seed, n_regions,
-                        in_process=(cloud_workers == 1))
-            for group in cloud_groups if group]
+                        in_process=(cloud_workers == 1
+                                    and not chaos_armed),
+                        worker_id=worker_id, faults=worker_faults,
+                        deadline_s=deadline_s, retries=retries,
+                        region_plans=region_plans)
+            for worker_id, group in enumerate(
+                group for group in cloud_groups if group)]
         for handle in cloud_handles:
             for region in handle.regions:
                 handle_of_region[region] = handle
@@ -706,218 +845,252 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                                n_devices=n_devices, seed=seed,
                                analytic=analytic)
 
-    # Mean-field cells (hybrid): pre-price each aggregate cell's cloud
-    # load as a synthetic stream, fed into its owning region alongside
-    # the exact cells' calls in canonical order.
-    synthetic_by_region: Dict[int, List[CloudCall]] = {}
-    synthetic_cursor: Dict[int, int] = {}
-    synthetic_meter: List[Tuple[float, float]] = []
-    if meanfield_specs:
-        from ..edge.meanfield import synthetic_stream
-        slots = max(1, min(64, math.ceil(
-            MAX_SYNTHETIC_CALLS / len(meanfield_specs))))
-        for spec in meanfield_specs:
-            calls, events = synthetic_stream(
-                config, scenario, spec.n_devices, spec.index,
-                spec.device_id_base, n_devices, seed=seed,
-                constants=constants, slots=slots)
-            for call in calls:
-                call.region = spec.region
-            synthetic_by_region.setdefault(spec.region, []).extend(calls)
-            synthetic_meter.extend(events)
-        for region, calls in synthetic_by_region.items():
-            calls.sort(key=lambda call: call.sort_key)
-            synthetic_cursor[region] = 0
+    try:
+        # Mean-field cells (hybrid): pre-price each aggregate cell's
+        # cloud load as a synthetic stream, fed into its owning region
+        # alongside the exact cells' calls in canonical order.
+        synthetic_by_region: Dict[int, List[CloudCall]] = {}
+        synthetic_cursor: Dict[int, int] = {}
+        synthetic_meter: List[Tuple[float, float]] = []
+        if meanfield_specs:
+            from ..edge.meanfield import synthetic_stream
+            slots = max(1, min(64, math.ceil(
+                MAX_SYNTHETIC_CALLS / len(meanfield_specs))))
+            for spec in meanfield_specs:
+                calls, events = synthetic_stream(
+                    config, scenario, spec.n_devices, spec.index,
+                    spec.device_id_base, n_devices, seed=seed,
+                    constants=constants, slots=slots)
+                for call in calls:
+                    call.region = spec.region
+                synthetic_by_region.setdefault(
+                    spec.region, []).extend(calls)
+                synthetic_meter.extend(events)
+            for region, calls in synthetic_by_region.items():
+                calls.sort(key=lambda call: call.sort_key)
+                synthetic_cursor[region] = 0
 
-    def take_synthetic(region: int, until: float) -> List[CloudCall]:
-        pending = synthetic_by_region.get(region)
-        if not pending:
-            return []
-        start = synthetic_cursor[region]
-        stop = start
-        while stop < len(pending) and pending[stop].arrival_s <= until:
-            stop += 1
-        synthetic_cursor[region] = stop
-        return pending[start:stop]
+        def take_synthetic(region: int, until: float) -> List[CloudCall]:
+            pending = synthetic_by_region.get(region)
+            if not pending:
+                return []
+            start = synthetic_cursor[region]
+            stop = start
+            while stop < len(pending) and pending[stop].arrival_s <= until:
+                stop += 1
+            synthetic_cursor[region] = stop
+            return pending[start:stop]
 
-    def serve_regions(batch: List[CloudCall], until: float) -> List:
-        """Route one canonical-order window to the owning regions."""
-        by_region: Dict[int, List[CloudCall]] = {}
-        for call in batch:
-            by_region.setdefault(call.region, []).append(call)
-        for region in list(synthetic_by_region):
-            fresh = take_synthetic(region, until)
-            if fresh:
-                merged = by_region.setdefault(region, [])
-                merged.extend(fresh)
-                merged.sort(key=lambda call: call.sort_key)
-        grouped_by_handle: Dict[int, List] = {}
-        for region, calls in sorted(by_region.items()):
-            handle = handle_of_region[region]
-            grouped_by_handle.setdefault(id(handle), []).append(
-                (region, calls))
-        involved = [handle for handle in cloud_handles
-                    if id(handle) in grouped_by_handle]
-        for handle in involved:
-            handle.send_serve(grouped_by_handle[id(handle)])
-        completions = []
-        for handle in involved:
-            completions.extend(handle.collect_serve())
-        return completions
+        def serve_regions(batch: List[CloudCall], until: float) -> List:
+            """Route one canonical-order window to the owning regions."""
+            by_region: Dict[int, List[CloudCall]] = {}
+            for call in batch:
+                by_region.setdefault(call.region, []).append(call)
+            for region in list(synthetic_by_region):
+                fresh = take_synthetic(region, until)
+                if fresh:
+                    merged = by_region.setdefault(region, [])
+                    merged.extend(fresh)
+                    merged.sort(key=lambda call: call.sort_key)
+            grouped_by_handle: Dict[int, List] = {}
+            for region, calls in sorted(by_region.items()):
+                handle = handle_of_region[region]
+                grouped_by_handle.setdefault(id(handle), []).append(
+                    (region, calls))
+            involved = [handle for handle in cloud_handles
+                        if id(handle) in grouped_by_handle]
+            for handle in involved:
+                handle.send_serve(grouped_by_handle[id(handle)])
+            completions = []
+            for handle in involved:
+                completions.extend(handle.collect_serve())
+            return completions
 
-    # Worker processes are capped by the cgroup-aware core count: on a
-    # quota-limited container extra processes cannot add wall-clock and
-    # only pay fork + pickle overhead, so shard *scheduling groups*
-    # collapse onto min(shards, cores) processes (one → in-process).
-    # Results are unaffected — cells are the semantic unit and simulate
-    # identically wherever they are scheduled.
-    workers = max(1, min(shards, default_workers()))
-    groups: List[List[CellSpec]] = [[] for _ in range(workers)]
-    for position, spec in enumerate(exact_specs):
-        groups[position % workers].append(spec)
-    shard_handles = [
-        _Shard(group, config, scenario, constants, n_devices,
-               runner_kwargs, in_process=(workers == 1))
-        for group in groups]
-
-    # Barrier loop: cells to t, exchange, cloud to t.
-    finished: Dict[int, float] = {}
-    fed_calls: List[CloudCall] = []
-    cloud_completions: List = []
-    barrier = 0.0
-    while len(finished) < len(exact_specs):
-        barrier += window
-        if barrier > MAX_HORIZON_S:
-            raise RuntimeError(
-                f"mission not finished by t={barrier:.0f}s; "
-                "sharded barrier loop aborted")
-        for handle in shard_handles:
-            handle.send_advance(barrier)
-        batch: List[CloudCall] = []
-        for handle in shard_handles:
-            fresh, status = handle.collect_advance(barrier)
-            batch.extend(fresh)
-            finished.update(status)
-        batch.sort(key=lambda call: call.sort_key)
-        fed_calls.extend(batch)
-        if cloud_armed:
-            cloud_completions.extend(serve_regions(batch, barrier))
+        # Worker processes are capped by the cgroup-aware core count: on
+        # a quota-limited container extra processes cannot add
+        # wall-clock and only pay fork + pickle overhead, so shard
+        # *scheduling groups* collapse onto min(shards, cores) processes
+        # (one → in-process). Results are unaffected — cells are the
+        # semantic unit and simulate identically wherever they are
+        # scheduled. Armed worker chaos overrides the collapse (the
+        # injector needs real processes to kill or hang).
+        if chaos_armed:
+            workers = max(1, shards)
         else:
-            gateway.feed(batch)
-            gateway.advance_to(barrier)
+            workers = max(1, min(shards, default_workers()))
+        groups: List[List[CellSpec]] = [[] for _ in range(workers)]
+        for position, spec in enumerate(exact_specs):
+            groups[position % workers].append(spec)
+        shard_handles.extend(
+            _Shard(group, config, scenario, constants, n_devices,
+                   runner_kwargs,
+                   in_process=(workers == 1 and not chaos_armed),
+                   worker_id=worker_id, faults=worker_faults,
+                   deadline_s=deadline_s, retries=retries)
+            for worker_id, group in enumerate(groups))
 
-    if cloud_armed:
-        # Flush synthetic background arrivals past the last barrier (the
-        # mean-field fleet's mission can outlast the exact focus), then
-        # collect every region's counters.
-        cloud_completions.extend(serve_regions([], MAX_HORIZON_S))
-        region_stats: Dict[int, Dict] = {}
-        for handle in cloud_handles:
-            region_stats.update(handle.finish())
-        cloud_done = max(
-            (stats["last_completion_s"]
-             for stats in region_stats.values()), default=0.0)
-    else:
-        cloud_done = gateway.drain()
-    makespan = max(max(finished.values()), cloud_done)
+        # Barrier loop: cells to t, exchange, cloud to t.
+        finished: Dict[int, float] = {}
+        fed_calls: List[CloudCall] = []
+        cloud_completions: List = []
+        barrier = 0.0
+        while len(finished) < len(exact_specs):
+            barrier += window
+            if barrier > MAX_HORIZON_S:
+                raise RuntimeError(
+                    f"mission not finished by t={barrier:.0f}s; "
+                    "sharded barrier loop aborted")
+            for handle in shard_handles:
+                handle.send_advance(barrier)
+            batch: List[CloudCall] = []
+            for handle in shard_handles:
+                fresh, status = handle.collect_advance(barrier)
+                batch.extend(fresh)
+                finished.update(status)
+            batch.sort(key=lambda call: call.sort_key)
+            fed_calls.extend(batch)
+            if cloud_armed:
+                cloud_completions.extend(serve_regions(batch, barrier))
+            else:
+                gateway.feed(batch)
+                gateway.advance_to(barrier)
 
-    tracer = obs.active_tracer()
-    for handle in shard_handles:
-        handle.send_finish(makespan)
-    results: List[Tuple[int, RunResult, List[CloudCall]]] = []
-    for handle in shard_handles:
-        payload = handle.collect_finish(makespan)
-        results.extend(payload["results"])
-        if payload["sim_events"]:
-            from ..experiments.parallel import absorb_worker_counts
-            absorb_worker_counts(payload["sim_events"],
-                                 payload["layer_events"])
-        if payload["spans"] and tracer is not None:
-            # Re-home worker spans under the shard's first cell index
-            # (the PR 5 replica-tagging pattern across processes).
-            tracer.absorb(payload["spans"],
-                          replica=handle.specs[0].index)
-    results.sort(key=lambda item: item[0])
+        if cloud_armed:
+            # Flush synthetic background arrivals past the last barrier
+            # (the mean-field fleet's mission can outlast the exact
+            # focus), then collect every region's counters.
+            cloud_completions.extend(serve_regions([], MAX_HORIZON_S))
+            region_stats: Dict[int, Dict] = {}
+            for handle in cloud_handles:
+                region_stats.update(handle.finish())
+            cloud_done = max(
+                (stats["last_completion_s"]
+                 for stats in region_stats.values()), default=0.0)
+        else:
+            cloud_done = gateway.drain()
+        makespan = max(max(finished.values()), cloud_done)
 
-    # Worker-side call copies carry the edge half; the cloud tier
-    # finalized the cloud half elsewhere. Join them by (cell, seq):
-    # region workers return completion tuples, the monolithic gateway
-    # finalized the driver's copies in place (a no-op for in-process
-    # shards, where both are the same object).
-    if cloud_armed:
-        completion_map = {(cell, seq): (done_s, breakdown)
-                          for cell, seq, done_s, breakdown
-                          in cloud_completions}
-        for call in fed_calls:
-            done = completion_map.get((call.cell, call.seq))
-            if done is not None:
-                call.completion_s, call.cloud_breakdown = done
-        for _, _, calls in results:
-            for call in calls:
+        tracer = obs.active_tracer()
+        for handle in shard_handles:
+            handle.send_finish(makespan)
+        results: List[Tuple[int, RunResult, List[CloudCall]]] = []
+        for handle in shard_handles:
+            payload = handle.collect_finish(makespan)
+            results.extend(payload["results"])
+            if payload["sim_events"]:
+                from ..experiments.parallel import absorb_worker_counts
+                absorb_worker_counts(payload["sim_events"],
+                                     payload["layer_events"])
+            if payload["spans"] and tracer is not None:
+                # Re-home worker spans under the shard's first cell
+                # index (the PR 5 replica-tagging pattern across
+                # processes).
+                tracer.absorb(payload["spans"],
+                              replica=handle.specs[0].index)
+        results.sort(key=lambda item: item[0])
+
+        # Worker-side call copies carry the edge half; the cloud tier
+        # finalized the cloud half elsewhere. Join them by (cell, seq):
+        # region workers return completion tuples, the monolithic
+        # gateway finalized the driver's copies in place (a no-op for
+        # in-process shards, where both are the same object).
+        if cloud_armed:
+            completion_map = {(cell, seq): (done_s, breakdown)
+                              for cell, seq, done_s, breakdown
+                              in cloud_completions}
+            for call in fed_calls:
                 done = completion_map.get((call.cell, call.seq))
                 if done is not None:
                     call.completion_s, call.cloud_breakdown = done
-    else:
-        cloud_half = {(call.cell, call.seq): call for call in fed_calls}
-        for _, _, calls in results:
-            for call in calls:
-                done = cloud_half.get((call.cell, call.seq))
-                if done is not None and done is not call:
-                    call.completion_s = done.completion_s
-                    call.cloud_breakdown = done.cloud_breakdown
+            for _, _, calls in results:
+                for call in calls:
+                    done = completion_map.get((call.cell, call.seq))
+                    if done is not None:
+                        call.completion_s, call.cloud_breakdown = done
+        else:
+            cloud_half = {(call.cell, call.seq): call
+                          for call in fed_calls}
+            for _, _, calls in results:
+                for call in calls:
+                    done = cloud_half.get((call.cell, call.seq))
+                    if done is not None and done is not call:
+                        call.completion_s = done.completion_s
+                        call.cloud_breakdown = done.cloud_breakdown
 
-    name = f"{scenario.key}.{config.name}"
-    latencies, breakdowns = _merge_latencies(results, name)
-    meter = BandwidthMeter("wireless")
-    for _, result, _ in results:
-        for time, megabytes in result.wireless_meter.events:
+        name = f"{scenario.key}.{config.name}"
+        latencies, breakdowns = _merge_latencies(results, name)
+        meter = BandwidthMeter("wireless")
+        for _, result, _ in results:
+            for time, megabytes in result.wireless_meter.events:
+                meter.record(time, megabytes)
+        for time, megabytes in synthetic_meter:
             meter.record(time, megabytes)
-    for time, megabytes in synthetic_meter:
-        meter.record(time, megabytes)
-    energy = [account for _, result, _ in results
-              for account in result.energy_accounts]
-    if cloud_armed:
-        cloud_stats = {
-            "cloud_completions": sum(
-                stats["completions"] for stats in region_stats.values()),
-            "cloud_makespan_s": cloud_done,
-            "persisted_documents": sum(
-                stats["persisted_documents"]
-                for stats in region_stats.values()),
-            "cold_starts": sum(
-                stats["cold_starts"] for stats in region_stats.values()),
-            "warm_starts": sum(
-                stats["warm_starts"] for stats in region_stats.values()),
-            "duplicate_launches": sum(
-                stats["duplicate_launches"]
-                for stats in region_stats.values()),
-            "background_completions": sum(
-                stats["background_completions"]
-                for stats in region_stats.values()),
-            "cloud_regions": len(region_stats),
-            "cloud_shards": cloud_shards,
-            "cloud_shard_workers": cloud_workers,
-        }
-        if exact_devices is not None:
-            cloud_stats["exact_devices"] = exact_devices
-            cloud_stats["meanfield_cells"] = len(meanfield_specs)
-    else:
-        cloud_stats = {
-            "cloud_completions": gateway.completions,
-            "cloud_makespan_s": gateway.last_completion_s,
-            "persisted_documents": gateway.persisted_documents,
-            "cold_starts": gateway.cold_starts,
-        }
-    extras, completed = _merge_extras(results, cloud_stats, makespan,
-                                      window, shards, workers)
-    return RunResult(
-        platform=config.name,
-        workload=scenario.key,
-        task_latencies=latencies,
-        breakdowns=breakdowns,
-        energy_accounts=energy,
-        wireless_meter=meter,
-        duration_s=makespan,
-        completed=completed,
-        extras=extras,
-    )
+        energy = [account for _, result, _ in results
+                  for account in result.energy_accounts]
+        if cloud_armed:
+            cloud_stats = {
+                "cloud_completions": sum(
+                    stats["completions"]
+                    for stats in region_stats.values()),
+                "cloud_makespan_s": cloud_done,
+                "persisted_documents": sum(
+                    stats["persisted_documents"]
+                    for stats in region_stats.values()),
+                "cold_starts": sum(
+                    stats["cold_starts"]
+                    for stats in region_stats.values()),
+                "warm_starts": sum(
+                    stats["warm_starts"]
+                    for stats in region_stats.values()),
+                "duplicate_launches": sum(
+                    stats["duplicate_launches"]
+                    for stats in region_stats.values()),
+                "background_completions": sum(
+                    stats["background_completions"]
+                    for stats in region_stats.values()),
+                "cloud_regions": len(region_stats),
+                "cloud_shards": cloud_shards,
+                "cloud_shard_workers": cloud_workers,
+            }
+            if exact_devices is not None:
+                cloud_stats["exact_devices"] = exact_devices
+                cloud_stats["meanfield_cells"] = len(meanfield_specs)
+            if partitioned is not None and partitioned.regions:
+                cloud_stats["injected_backend_faults"] = sum(
+                    stats.get("injected_faults", 0)
+                    for stats in region_stats.values())
+        else:
+            cloud_stats = {
+                "cloud_completions": gateway.completions,
+                "cloud_makespan_s": gateway.last_completion_s,
+                "persisted_documents": gateway.persisted_documents,
+                "cold_starts": gateway.cold_starts,
+            }
+        extras, completed = _merge_extras(results, cloud_stats, makespan,
+                                          window, shards, workers)
+        incidents = incidents_since(incident_mark)
+        if incidents:
+            # Supervision accounting rides only on disturbed runs, so
+            # unarmed extras stay exactly as before.
+            extras["worker_incidents"] = [incident.to_dict()
+                                          for incident in incidents]
+            extras["worker_recoveries"] = len(incidents)
+        return RunResult(
+            platform=config.name,
+            workload=scenario.key,
+            task_latencies=latencies,
+            breakdowns=breakdowns,
+            energy_accounts=energy,
+            wireless_meter=meter,
+            duration_s=makespan,
+            completed=completed,
+            extras=extras,
+        )
+    finally:
+        # Every exit path — normal return, invariant violation, chaos
+        # gone wrong — closes pipes and reaps workers (join → terminate
+        # → kill escalation lives in SupervisedConnection.close).
+        for handle in shard_handles:
+            handle.close()
+        for handle in cloud_handles:
+            handle.close()

@@ -1,0 +1,435 @@
+"""Worker supervision: watchdogs, deterministic replay, incident records.
+
+PRs 7–8 turned the runner into a small distributed system — shard cell
+workers and cloud-region workers talking to the driver over pipes — with
+no fault tolerance: every ``conn.recv()`` blocked forever and a timed-out
+``join`` leaked the child. This module supplies the missing supervision
+layer, used by both worker kinds in :mod:`repro.sim.shard`:
+
+- **Deadline-guarded receives.** Every reply is awaited with
+  ``poll()`` in short slices against a wall-clock deadline
+  (``REPRO_WORKER_DEADLINE``, default ``max(60 s, lookahead window)`` —
+  a worker that cannot advance one lookahead window of simulated time
+  within that many wall seconds is considered wedged).
+- **Failure taxonomy.** A dead worker (pipe EOF/OSError, or the process
+  exited without replying) raises :class:`WorkerDeath`; a silent one
+  raises :class:`WorkerHang` after the deadline, and the supervisor
+  escalates ``terminate()`` → ``kill()`` so nothing is leaked.
+- **Deterministic recovery.** Each cell/region is a pure function of
+  its spec and per-entity seeded RNG stream, and the driver's command
+  sequence (barrier times, canonical call batches) is itself
+  deterministic. The supervisor journals every completed command, so a
+  replacement worker — respawned (bounded retries + backoff) or an
+  in-process fallback after the retry budget — replays the journal,
+  reaching byte-identical state, then re-issues the failed command.
+  Replayed replies are discarded (their rows were already merged); the
+  failed command's reply was never merged, so it merges exactly once.
+- **Incident records.** Every recovery emits a :class:`WorkerIncident`
+  (what died, during which operation, retries spent, recovery path and
+  latency) into a process-wide log that `run_sharded` surfaces in result
+  extras and `run_experiment` attaches to the :class:`RunManifest`.
+
+Chaos hooks: parent-side kills from a
+:class:`repro.faults.worker.WorkerFaultPlan` are injected here (SIGKILL
+right after a matching send); worker-side hangs/slows call
+:func:`chaos_pause` inside the worker loop. Faults are one-shot —
+recovered workers are respawned with chaos disarmed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from . import flags
+
+__all__ = [
+    "ProtocolError", "WorkerFailure", "WorkerDeath", "WorkerHang",
+    "WorkerIncident", "SupervisedConnection", "chaos_pause",
+    "resolve_worker_deadline", "resolve_worker_retries",
+    "can_spawn_workers", "incident_count", "incidents_since",
+    "record_incident",
+]
+
+#: Deadline floor: even tiny lookahead windows get this much wall time.
+DEADLINE_FLOOR_S = 60.0
+
+#: ``poll()`` slice so death/hang checks stay responsive (wall seconds).
+POLL_SLICE_S = 0.2
+
+#: Worker-side ``hang`` faults sleep this long (far past any sane
+#: deadline; the supervisor's terminate/kill escalation ends it sooner).
+HANG_SLEEP_S = 3600.0
+
+#: Backoff before respawn attempt n (n >= 1), capped.
+RESPAWN_BACKOFF_S = 0.1
+RESPAWN_BACKOFF_CAP_S = 2.0
+
+
+class ProtocolError(RuntimeError):
+    """The pipe protocol was violated (wrong reply kind or shape).
+
+    A real exception, not an ``assert``: it must survive ``python -O``,
+    where asserts vanish and a mismatched reply would silently corrupt
+    the merge.
+    """
+
+
+class WorkerFailure(RuntimeError):
+    """Base for recoverable worker failures."""
+
+    kind = "failure"
+
+
+class WorkerDeath(WorkerFailure):
+    """The worker process died (EOF/broken pipe/exited without reply)."""
+
+    kind = "death"
+
+
+class WorkerHang(WorkerFailure):
+    """The worker missed its reply deadline and was escalated away."""
+
+    kind = "hang"
+
+
+@dataclass
+class WorkerIncident:
+    """One supervised failure + recovery, for manifests and reports."""
+
+    worker: str          # e.g. "shard0", "cloud1"
+    op: str              # e.g. "advance@60.0 [op 2]"
+    failure: str         # "death" | "hang" | "spawn"
+    retries: int         # respawn attempts consumed
+    recovery: str        # "respawned" | "in_process"
+    recovery_s: float    # wall-clock latency of the recovery
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "op": self.op,
+            "failure": self.failure,
+            "retries": self.retries,
+            "recovery": self.recovery,
+            "recovery_s": round(self.recovery_s, 6),
+        }
+
+
+# Process-wide incident log. `run_sharded` snapshots the length before a
+# run and reads the delta after, so concurrent figure harness runs in
+# one process still get per-run attribution.
+_INCIDENTS: List[WorkerIncident] = []
+
+
+def record_incident(incident: WorkerIncident) -> None:
+    _INCIDENTS.append(incident)
+
+
+def incident_count() -> int:
+    return len(_INCIDENTS)
+
+
+def incidents_since(mark: int) -> List[WorkerIncident]:
+    return list(_INCIDENTS[mark:])
+
+
+def resolve_worker_deadline(window_s: float,
+                            override: Optional[float] = None) -> float:
+    """Reply deadline in wall seconds.
+
+    Explicit override wins, then ``REPRO_WORKER_DEADLINE``, then the
+    derived default ``max(60 s, lookahead window)``: one barrier asks a
+    worker for at most one window of simulated time, and simulated
+    seconds price far below wall seconds, so a worker that cannot keep
+    that pace is wedged, not slow.
+    """
+    configured = flags.worker_deadline(override)
+    if configured is not None:
+        return configured
+    return max(DEADLINE_FLOOR_S, float(window_s))
+
+
+def resolve_worker_retries(override: Optional[int] = None) -> int:
+    return flags.worker_retries(override)
+
+
+def _spawn_probe() -> None:
+    pass
+
+
+_CAN_SPAWN: Optional[bool] = None
+
+
+def can_spawn_workers() -> bool:
+    """Whether this environment can start worker processes at all
+    (some sandboxes forbid fork/spawn). Probed once, cached."""
+    global _CAN_SPAWN
+    if _CAN_SPAWN is None:
+        import multiprocessing
+        try:
+            process = multiprocessing.Process(target=_spawn_probe,
+                                              daemon=True)
+            process.start()
+            process.join(10.0)
+            _CAN_SPAWN = True
+        except (OSError, ValueError):
+            _CAN_SPAWN = False
+    return _CAN_SPAWN
+
+
+def chaos_pause(faults: Tuple[Tuple[str, int, float], ...],
+                op: int) -> None:
+    """Worker-side chaos injection: called by the worker loop before
+    handling its ``op``-th command (1-based). ``faults`` holds
+    ``(action, op, delay_s)`` triples from
+    :meth:`WorkerFaultPlan.worker_side`."""
+    for action, at_op, delay_s in faults:
+        if at_op != op:
+            continue
+        if action == "hang":
+            time.sleep(HANG_SLEEP_S)
+        elif action == "slow":
+            time.sleep(delay_s)
+
+
+class SupervisedConnection:
+    """Supervises one worker: split-phase send/collect with watchdog,
+    journaled replay recovery, and escalation teardown.
+
+    Parameters
+    ----------
+    name:
+        Stable worker name for incidents ("shard0", "cloud1", ...).
+    spawn:
+        ``spawn(worker_side_faults) -> (conn, process)``. Called with
+        the armed fault triples for the first spawn and ``()`` for every
+        recovery respawn (faults are one-shot).
+    replies:
+        Command → expected reply kind (e.g. ``{"advance": "calls"}``).
+    fallback:
+        Zero-arg factory for an in-process executor exposing
+        ``request(command, argument) -> payload``; used when
+        ``in_process`` is set, when the first spawn fails (parity with
+        environments without fork), and after the retry budget.
+    kill_ops:
+        1-based command indices after which the driver SIGKILLs the
+        worker (parent-side chaos).
+    """
+
+    def __init__(self, name: str,
+                 spawn: Callable[[Tuple[Tuple[str, int, float], ...]],
+                                 Tuple[Any, Any]],
+                 replies: Dict[str, str],
+                 fallback: Callable[[], Any],
+                 deadline_s: float,
+                 retries: int = 2,
+                 kill_ops: FrozenSet[int] = frozenset(),
+                 worker_side_faults: Tuple[Tuple[str, int, float], ...] = (),
+                 in_process: bool = False):
+        self._name = name
+        self._spawn = spawn
+        self._replies = dict(replies)
+        self._fallback = fallback
+        self._deadline_s = float(deadline_s)
+        self._retries = max(0, int(retries))
+        self._kill_ops = frozenset(kill_ops)
+        self._worker_side_faults = tuple(worker_side_faults)
+        self._conn = None
+        self._process = None
+        self._local = None
+        self._journal: List[Tuple[str, Any]] = []
+        self._outstanding: Optional[Tuple[str, Any]] = None
+        self._ops_sent = 0
+        self.incidents: List[WorkerIncident] = []
+        if in_process:
+            self._local = fallback()
+        else:
+            try:
+                self._conn, self._process = spawn(self._worker_side_faults)
+            except (OSError, ValueError):
+                # First spawn is a capability probe, not a fault: fall
+                # back silently so forkless sandboxes behave exactly as
+                # an explicit in_process run (and pay no retry latency).
+                self._local = fallback()
+
+    # -- introspection --------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def in_process(self) -> bool:
+        return self._local is not None
+
+    # -- protocol -------------------------------------------------------
+    def send(self, command: str, argument: Any) -> None:
+        if self._outstanding is not None:
+            raise ProtocolError(
+                f"{self._name}: send({command!r}) while "
+                f"{self._outstanding[0]!r} is still outstanding")
+        if command not in self._replies:
+            raise ProtocolError(f"{self._name}: unknown command "
+                                f"{command!r}")
+        self._outstanding = (command, argument)
+        if self._local is not None:
+            return
+        self._ops_sent += 1
+        try:
+            self._conn.send((command, argument))
+        except (BrokenPipeError, OSError):
+            # Worker already gone; collect() will notice and recover.
+            return
+        if self._ops_sent in self._kill_ops:
+            # Parent-side chaos: SIGKILL the worker right after the
+            # send, so it dies genuinely mid-operation.
+            self._process.kill()
+
+    def collect(self) -> Any:
+        if self._outstanding is None:
+            raise ProtocolError(f"{self._name}: collect() with no "
+                                "outstanding command")
+        command, argument = self._outstanding
+        self._outstanding = None
+        if self._local is not None:
+            return self._local.request(command, argument)
+        try:
+            payload = self._recv(self._replies[command])
+        except WorkerFailure as failure:
+            payload = self._recover(failure, command, argument)
+        if self._local is None:
+            self._journal.append((command, argument))
+        return payload
+
+    def request(self, command: str, argument: Any) -> Any:
+        self.send(command, argument)
+        return self.collect()
+
+    # -- receive with watchdog ------------------------------------------
+    def _recv(self, expected: str) -> Any:
+        deadline = time.monotonic() + self._deadline_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerHang(
+                    f"{self._name}: no reply within "
+                    f"{self._deadline_s:.1f}s")
+            try:
+                ready = self._conn.poll(min(remaining, POLL_SLICE_S))
+            except (EOFError, OSError):
+                raise WorkerDeath(f"{self._name}: pipe closed") from None
+            if ready:
+                try:
+                    message = self._conn.recv()
+                except (EOFError, OSError):
+                    raise WorkerDeath(
+                        f"{self._name}: worker died mid-reply "
+                        f"(exitcode {self._exitcode()})") from None
+                if not (isinstance(message, tuple) and len(message) == 2):
+                    raise ProtocolError(
+                        f"{self._name}: malformed reply {message!r}")
+                kind, payload = message
+                if kind != expected:
+                    raise ProtocolError(
+                        f"{self._name}: expected {expected!r} reply, "
+                        f"got {kind!r}")
+                return payload
+            if self._process is not None and not self._process.is_alive():
+                if self._conn.poll(0):
+                    continue  # drain a reply buffered before death
+                raise WorkerDeath(
+                    f"{self._name}: worker exited with code "
+                    f"{self._exitcode()} without replying")
+
+    def _exitcode(self):
+        return None if self._process is None else self._process.exitcode
+
+    # -- recovery -------------------------------------------------------
+    def _recover(self, failure: WorkerFailure, command: str,
+                 argument: Any) -> Any:
+        started = time.perf_counter()
+        self._close_process(grace_s=0.0)
+        # Chaos faults are one-shot per original worker: a recovered
+        # worker must not be re-killed into an infinite loop.
+        self._kill_ops = frozenset()
+        retries_used = 0
+        payload = None
+        recovery = None
+        for attempt in range(self._retries):
+            if attempt:
+                time.sleep(min(RESPAWN_BACKOFF_S * (2 ** (attempt - 1)),
+                               RESPAWN_BACKOFF_CAP_S))
+            try:
+                self._conn, self._process = self._spawn(())
+            except (OSError, ValueError):
+                retries_used += 1
+                continue
+            try:
+                self._replay()
+                self._conn.send((command, argument))
+                payload = self._recv(self._replies[command])
+                recovery = "respawned"
+                break
+            except (WorkerFailure, BrokenPipeError, OSError):
+                retries_used += 1
+                self._close_process(grace_s=0.0)
+                continue
+        if recovery is None:
+            # Retry budget exhausted: degrade to in-process execution.
+            self._local = self._fallback()
+            for past_command, past_argument in self._journal:
+                self._local.request(past_command, past_argument)
+            payload = self._local.request(command, argument)
+            recovery = "in_process"
+        incident = WorkerIncident(
+            worker=self._name,
+            op=f"{command}@{argument!r} [op {self._ops_sent}]",
+            failure=failure.kind,
+            retries=retries_used,
+            recovery=recovery,
+            recovery_s=time.perf_counter() - started,
+        )
+        self.incidents.append(incident)
+        record_incident(incident)
+        return payload
+
+    def _replay(self) -> None:
+        """Re-issue the journal on a fresh worker; discard replies.
+
+        Safe because replayed replies were already merged the first
+        time, and the replacement worker rebuilds identical state from
+        the same deterministic command sequence.
+        """
+        for command, argument in self._journal:
+            self._conn.send((command, argument))
+            self._recv(self._replies[command])
+
+    # -- teardown -------------------------------------------------------
+    def _close_process(self, grace_s: float = 5.0) -> None:
+        """Close the pipe and reap the worker, escalating
+        join → terminate → kill so no exit path leaks a child."""
+        conn, process = self._conn, self._process
+        self._conn = None
+        self._process = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if process is None:
+            return
+        # Closing our pipe end EOFs a healthy worker's recv(), so the
+        # graceful join usually succeeds immediately.
+        if grace_s > 0:
+            process.join(grace_s)
+        if process.is_alive():
+            process.terminate()
+            process.join(2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(5.0)
+
+    def close(self) -> None:
+        """Idempotent; safe on every exit path, including exceptions."""
+        self._outstanding = None
+        self._close_process()

@@ -27,7 +27,8 @@ from repro.experiments import (
 
 class TestRegistry:
     def test_all_figures_registered(self):
-        expected = {"chaos", "fig01", "fig03a", "fig03b", "fig04",
+        expected = {"chaos", "chaos-workers", "fig01", "fig03a",
+                    "fig03b", "fig04",
                     "fig05a", "fig05b", "fig05c", "fig06a", "fig06b",
                     "fig06c", "fig11", "fig12", "fig13", "fig14", "fig15",
                     "fig16", "fig17a", "fig17b", "fig17c", "fig17d",

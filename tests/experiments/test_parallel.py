@@ -147,3 +147,49 @@ class TestRegistryTelemetry:
             del registry.EXPERIMENTS["_dummy"]
         assert result.elapsed_s > 0
         assert result.sim_events > 0
+
+
+class TestPoolDegradation:
+    """A broken process pool must fall back *loudly*: logged once,
+    recorded for the RunManifest — never a silent serial run."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_log(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_DEGRADATIONS", [])
+
+    def test_pool_failure_recorded_once_and_results_intact(
+            self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("fork unavailable")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", broken_pool)
+        tasks = [(_simulate, (seed,), {}) for seed in range(3)]
+        for _ in range(2):  # second failure must not duplicate the record
+            results = run_tasks(tasks, max_workers=2)
+            assert [r.value for r in results] == [
+                _simulate(0), _simulate(1), _simulate(2)]
+        assert parallel.pool_degradations() == [
+            "OSError: fork unavailable"]
+
+    def test_degradation_lands_in_the_run_manifest(self, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.common import ExperimentResult
+
+        monkeypatch.setattr(parallel, "_DEGRADATIONS",
+                            ["OSError: fork unavailable"])
+
+        def dummy(base_seed=0):
+            return ExperimentResult(figure="dummy", title="t",
+                                    headers=["k"], rows=[["v"]])
+
+        registry.EXPERIMENTS["_dummy"] = dummy
+        try:
+            result = registry.run_experiment("_dummy")
+        finally:
+            del registry.EXPERIMENTS["_dummy"]
+        assert result.manifest.extra["pool_degradations"] == [
+            "OSError: fork unavailable"]
+
+    def test_healthy_runs_record_nothing(self):
+        run_tasks([(_simulate, (1,), {})], max_workers=1)
+        assert parallel.pool_degradations() == []

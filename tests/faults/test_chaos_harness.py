@@ -62,3 +62,36 @@ class TestSweepResult:
         assert result.data["total_violations"] == 0
         assert result.data["all_accounted"]
         assert len(result.headers) == len(result.rows[0])
+
+
+class TestWorkerChaosLanes:
+    """The --chaos-workers harness: real processes killed under
+    supervision, rows twin-compared byte-for-byte."""
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(KeyError):
+            chaos.run_workers(lanes=("warp",))
+
+    @pytest.mark.skipif(
+        not __import__("repro.sim.supervisor",
+                       fromlist=["can_spawn_workers"]
+                       ).can_spawn_workers(),
+        reason="environment cannot spawn worker processes")
+    def test_sharded_lane_recovers_byte_identical(self):
+        result = chaos.run_workers(scenarios=("S1",), lanes=("sharded",))
+        assert not result.data["skipped"]
+        assert len(result.rows) == 1
+        assert result.data["identical_all"]
+        assert result.data["all_recovered"]
+        # The default sharded script injects a kill and a hang.
+        assert result.data["total_incidents"] == 2
+        failures = {i["failure"] for i in result.data["incidents"]}
+        assert failures == {"death", "hang"}
+
+    def test_skip_path_is_well_formed(self, monkeypatch):
+        monkeypatch.setattr(chaos.supervisor, "can_spawn_workers",
+                            lambda: False)
+        result = chaos.run_workers(scenarios=("S1",), lanes=("sharded",))
+        assert result.data["skipped"]
+        assert result.rows == []
+        assert result.data["identical_all"]  # vacuously true -> exit 0

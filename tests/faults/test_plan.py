@@ -165,13 +165,17 @@ class TestRegionPartition:
         assert "invoker_crash" in r1_kinds  # server9 -> region 1
         assert "invoker_crash" not in r0_kinds
 
-    def test_store_and_bus_outages_land_in_region_zero(self):
+    def test_store_and_bus_outages_replicate_to_every_region(self):
+        # A CouchDB or Kafka outage takes down shared infrastructure:
+        # every region must see the stall window, not just region 0
+        # (the old region-0-only routing made cloud-sharded runs
+        # under-inject and diverge from the monolithic gateway).
         part = self.build().partition(1024, cell_devices=64,
                                       region_devices=512, n_servers=12)
-        r0_kinds = part.region(0).kinds()
-        assert "couchdb_outage" in r0_kinds
-        assert "kafka_outage" in r0_kinds
-        assert "couchdb_outage" not in part.region(1).kinds()
+        for region in (0, 1):
+            kinds = part.region(region).kinds()
+            assert "couchdb_outage" in kinds
+            assert "kafka_outage" in kinds
 
     def test_partition_windows_and_rates_replicate_to_all_regions(self):
         part = self.build().partition(1024, cell_devices=64,

@@ -1,0 +1,84 @@
+"""Worker fault plans: the harness-chaos spec grammar and its routing.
+
+These faults target the *real worker processes* behind the sharded
+runtime (``REPRO_CHAOS_WORKERS``), not the simulated world — the grammar
+must round-trip exactly and route each entry to the right side of the
+pipe (parent-side kills vs worker-side hangs/slows).
+"""
+
+import pytest
+
+from repro.faults import WorkerFault, WorkerFaultPlan
+from repro.faults.worker import DEFAULT_SLOW_S
+
+pytestmark = pytest.mark.quick
+
+
+class TestSpecGrammar:
+    def test_parse_round_trips_exactly(self):
+        spec = "kill:shard:0:2,hang:shard:1:3,slow:cloud:0:1:0.2"
+        plan = WorkerFaultPlan.parse(spec)
+        assert len(plan) == 3
+        assert plan.armed
+        assert plan.spec() == spec
+
+    def test_empty_spec_is_unarmed(self):
+        plan = WorkerFaultPlan.parse("")
+        assert not plan.armed
+        assert len(plan) == 0
+        assert plan.spec() == ""
+
+    def test_blank_entries_and_whitespace_ignored(self):
+        plan = WorkerFaultPlan.parse(" kill:shard:0:2 , ,hang:cloud:1:4,")
+        assert [f.action for f in plan.faults] == ["kill", "hang"]
+
+    def test_slow_without_delay_gets_the_default(self):
+        plan = WorkerFaultPlan.parse("slow:shard:0:1")
+        assert plan.faults[0].delay_s == DEFAULT_SLOW_S
+
+    @pytest.mark.parametrize("bad", [
+        "kill:shard:0",             # too few fields
+        "kill:shard:0:2:0.5",       # delay on a non-slow action
+        "boom:shard:0:1",           # unknown action
+        "kill:edge:0:1",            # unknown scope
+        "kill:shard:x:1",           # non-integer worker
+        "kill:shard:0:zero",        # non-integer op
+        "kill:shard:0:0",           # op indices are 1-based
+        "kill:shard:-1:1",          # negative worker
+        "slow:shard:0:1:-0.5",      # negative delay
+    ])
+    def test_bad_entries_rejected(self, bad):
+        with pytest.raises(ValueError):
+            WorkerFaultPlan.parse(bad)
+
+    def test_builders_compose_immutably(self):
+        base = WorkerFaultPlan()
+        plan = base.kill("shard", 0, 2).hang("cloud", 1, 3).slow(
+            "shard", 1, 4, delay_s=0.25)
+        assert len(base) == 0  # the original stays unarmed
+        assert plan.spec() == \
+            "kill:shard:0:2,hang:cloud:1:3,slow:shard:1:4:0.25"
+
+
+class TestRouting:
+    PLAN = WorkerFaultPlan.parse(
+        "kill:shard:0:2,kill:shard:0:5,kill:cloud:0:2,"
+        "hang:shard:1:3,slow:shard:1:6:0.2")
+
+    def test_kill_ops_filter_by_scope_and_worker(self):
+        assert self.PLAN.kill_ops("shard", 0) == frozenset({2, 5})
+        assert self.PLAN.kill_ops("cloud", 0) == frozenset({2})
+        assert self.PLAN.kill_ops("shard", 1) == frozenset()
+
+    def test_worker_side_carries_only_hang_and_slow(self):
+        triples = self.PLAN.worker_side("shard", 1)
+        assert ("hang", 3, DEFAULT_SLOW_S) in triples
+        assert ("slow", 6, 0.2) in triples
+        assert all(action != "kill" for action, _, _ in triples)
+        assert self.PLAN.worker_side("shard", 0) == ()
+
+    def test_fault_validation_on_direct_construction(self):
+        with pytest.raises(ValueError):
+            WorkerFault("kill", "shard", 0, 0)
+        with pytest.raises(ValueError):
+            WorkerFault("hang", "nowhere", 0, 1)

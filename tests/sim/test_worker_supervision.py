@@ -1,0 +1,272 @@
+"""Worker supervision: watchdogs, deterministic replay, incident records.
+
+The contract under test (the robustness tentpole): a SIGKILLed or hung
+shard/cloud worker is detected, replaced (respawn with journal replay, or
+in-process after the retry budget), and the merged rows come out
+**byte-identical** to an undisturbed run — worker chaos may only change
+wall-clock and incident accounting. Every test that touches real worker
+processes is guarded by a hard SIGALRM so a supervision bug can never
+hang the suite.
+"""
+
+import signal
+
+import pytest
+
+from repro.faults import WorkerFaultPlan
+from repro.platforms import platform_config
+from repro.sim import supervisor
+from repro.sim.shard import run_sharded
+from repro.sim.supervisor import (ProtocolError, SupervisedConnection,
+                                  can_spawn_workers, resolve_worker_deadline,
+                                  resolve_worker_retries)
+
+from .test_shard_determinism import result_bytes, scenario_variant
+
+N_DEVICES = 16
+CELL_DEVICES = 4
+WINDOW_S = 10.0  # 120 s mission -> ~13 pipe ops per worker
+#: Chaos runs shrink the hang deadline so detection costs ~1 s, not 60.
+DEADLINE_S = 1.0
+
+needs_processes = pytest.mark.skipif(
+    not can_spawn_workers(),
+    reason="environment cannot spawn worker processes")
+
+
+@pytest.fixture(autouse=True)
+def hang_guard():
+    """Hard 120 s wall-clock cap: a supervision regression must fail the
+    test, never wedge the run (SIGALRM is process-wide; these tests do
+    not run in parallel within one process)."""
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError("supervision test exceeded 120s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(120)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run(worker_faults, **overrides):
+    options = dict(seed=0, shards=2, cell_devices=CELL_DEVICES,
+                   window_s=WINDOW_S, worker_deadline_s=DEADLINE_S)
+    options.update(overrides)
+    return run_sharded(platform_config("hivemind"), scenario_variant("S1"),
+                       N_DEVICES, worker_faults=worker_faults, **options)
+
+
+@pytest.fixture(scope="module")
+def undisturbed_bytes():
+    """One fault-free twin shared by every recovery test (unarmed plan
+    passed explicitly, so an inherited REPRO_CHAOS_WORKERS cannot arm
+    it)."""
+    return result_bytes(_run(WorkerFaultPlan()))
+
+
+@needs_processes
+class TestKillRecovery:
+    def test_sigkill_mid_advance_is_byte_identical(self, undisturbed_bytes):
+        mark = supervisor.incident_count()
+        result = _run(WorkerFaultPlan().kill("shard", 0, 2))
+        assert result_bytes(result) == undisturbed_bytes
+        incidents = supervisor.incidents_since(mark)
+        assert len(incidents) == 1
+        assert incidents[0].failure == "death"
+        assert incidents[0].worker == "shard0"
+        assert incidents[0].recovery in ("respawned", "in_process")
+
+    def test_incidents_surface_in_extras(self):
+        result = _run(WorkerFaultPlan().kill("shard", 1, 3))
+        assert result.extras["worker_recoveries"] == 1
+        [incident] = result.extras["worker_incidents"]
+        assert incident["worker"] == "shard1"
+        assert incident["failure"] == "death"
+
+    def test_cloud_worker_kill_is_byte_identical(self):
+        shape = dict(cloud_shards=2, region_devices=8)
+        baseline = _run(WorkerFaultPlan(), **shape)
+        chaotic = _run(WorkerFaultPlan().kill("cloud", 0, 2), **shape)
+        assert result_bytes(chaotic) == result_bytes(baseline)
+        assert chaotic.extras["worker_recoveries"] == 1
+        assert chaotic.extras["worker_incidents"][0]["worker"] == "cloud0"
+
+
+@needs_processes
+class TestHangRecovery:
+    def test_hung_worker_is_detected_and_byte_identical(
+            self, undisturbed_bytes):
+        mark = supervisor.incident_count()
+        result = _run(WorkerFaultPlan().hang("shard", 1, 3))
+        assert result_bytes(result) == undisturbed_bytes
+        [incident] = supervisor.incidents_since(mark)
+        assert incident.failure == "hang"
+        assert incident.worker == "shard1"
+
+    def test_slow_reply_within_deadline_is_not_an_incident(
+            self, undisturbed_bytes):
+        result = _run(WorkerFaultPlan().slow("shard", 0, 2, delay_s=0.2),
+                      worker_deadline_s=5.0)
+        assert result_bytes(result) == undisturbed_bytes
+        assert "worker_incidents" not in result.extras
+
+
+@needs_processes
+class TestDegradationLadder:
+    def test_zero_retries_degrades_to_in_process(self, undisturbed_bytes):
+        result = _run(WorkerFaultPlan().kill("shard", 0, 2),
+                      worker_retries=0)
+        assert result_bytes(result) == undisturbed_bytes
+        [incident] = result.extras["worker_incidents"]
+        assert incident["recovery"] == "in_process"
+        assert incident["retries"] == 0
+
+
+class TestUnarmedPath:
+    def test_unarmed_extras_carry_no_supervision_keys(self):
+        result = _run(WorkerFaultPlan())
+        assert "worker_incidents" not in result.extras
+        assert "worker_recoveries" not in result.extras
+
+
+class TestResolvers:
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKER_DEADLINE", raising=False)
+        monkeypatch.delenv("REPRO_WORKER_RETRIES", raising=False)
+
+    def test_deadline_defaults_to_floor_over_window(self):
+        assert resolve_worker_deadline(10.0) == 60.0
+        assert resolve_worker_deadline(300.0) == 300.0
+
+    def test_deadline_override_wins(self):
+        assert resolve_worker_deadline(10.0, override=2.5) == 2.5
+
+    def test_deadline_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_DEADLINE", "7.5")
+        assert resolve_worker_deadline(300.0) == 7.5
+
+    def test_bad_deadline_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_DEADLINE", "-1")
+        with pytest.raises(ValueError):
+            resolve_worker_deadline(10.0)
+
+    def test_retries_env_var(self, monkeypatch):
+        assert resolve_worker_retries() == 2
+        assert resolve_worker_retries(override=5) == 5
+        monkeypatch.setenv("REPRO_WORKER_RETRIES", "1")
+        assert resolve_worker_retries() == 1
+
+
+class _FakeProcess:
+    """Just enough Process surface for SupervisedConnection teardown."""
+
+    exitcode = None
+
+    def __init__(self):
+        self.alive = True
+
+    def is_alive(self):
+        return self.alive
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        self.alive = False
+
+    def kill(self):
+        self.alive = False
+
+
+class _FakeConn:
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.sent = []
+
+    def send(self, message):
+        self.sent.append(message)
+
+    def poll(self, timeout=None):
+        return bool(self.replies)
+
+    def recv(self):
+        return self.replies.pop(0)
+
+    def close(self):
+        pass
+
+
+def _supervised(replies):
+    return SupervisedConnection(
+        "fake0",
+        spawn=lambda faults: (_FakeConn(replies), _FakeProcess()),
+        replies={"advance": "calls"},
+        fallback=lambda: None,
+        deadline_s=1.0, retries=0)
+
+
+class TestProtocolErrors:
+    """The pipe protocol raises real exceptions, not ``assert``s — a
+    wrong-kind reply must fail loudly even under ``python -O``."""
+
+    def test_wrong_reply_kind_raises(self):
+        sup = _supervised([("result", None)])
+        sup.send("advance", 60.0)
+        with pytest.raises(ProtocolError, match="expected 'calls'"):
+            sup.collect()
+
+    def test_malformed_reply_raises(self):
+        sup = _supervised(["not-a-tuple"])
+        sup.send("advance", 60.0)
+        with pytest.raises(ProtocolError, match="malformed"):
+            sup.collect()
+
+    def test_unknown_command_rejected(self):
+        sup = _supervised([])
+        with pytest.raises(ProtocolError, match="unknown command"):
+            sup.send("explode", None)
+
+    def test_send_while_outstanding_rejected(self):
+        sup = _supervised([("calls", ([], {}))])
+        sup.send("advance", 60.0)
+        with pytest.raises(ProtocolError, match="outstanding"):
+            sup.send("advance", 120.0)
+
+    def test_collect_without_send_rejected(self):
+        sup = _supervised([])
+        with pytest.raises(ProtocolError, match="no outstanding"):
+            sup.collect()
+
+
+class TestBackendFaultParity:
+    """Satellite: CouchDB/Kafka outage windows must arm *every* region,
+    so rows stay identical at any (shards, cloud_shards) grouping."""
+
+    def _plan(self):
+        from repro.faults import FaultPlan
+        return (FaultPlan(name="store-outage", seed=0)
+                .couchdb_outage(10.0, 30.0)
+                .kafka_outage(20.0, 30.0))
+
+    def test_outage_rows_identical_across_groupings(self):
+        shape = dict(region_devices=8, fault_plan=self._plan())
+        one = _run(WorkerFaultPlan(), cloud_shards=1, **shape)
+        two = _run(WorkerFaultPlan(), cloud_shards=2, **shape)
+        assert result_bytes(one) == result_bytes(two)
+        # Both regions armed: 2 regions x 2 outage kinds.
+        assert one.extras["injected_backend_faults"] == 4
+        assert two.extras["injected_backend_faults"] == 4
+
+    def test_outages_actually_perturb_the_run(self):
+        shape = dict(region_devices=8, cloud_shards=2)
+        quiet = _run(WorkerFaultPlan(), **shape)
+        stormy = _run(WorkerFaultPlan(), fault_plan=self._plan(), **shape)
+        assert result_bytes(quiet) != result_bytes(stormy)
