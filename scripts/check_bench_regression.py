@@ -2,15 +2,17 @@
 """Fail when the kernel's smoke throughput regresses against the baseline.
 
 Compares the newest ``smoke:total`` record in ``BENCH_kernel.json``
-(appended by the CI bench job that just ran) against the *checked-in
-baseline* — the most recent ``smoke:total`` record committed to the
-file, i.e. the second-newest after CI's append — and exits non-zero when
-events/second drops by more than the allowed fraction (default 30%).
-Comparing against the most recent committed record (rather than the
-oldest) matters: a PR that legitimately shifts the events/second scale
-(e.g. by deleting cheap kernel events outright, which lowers events/s
-while *improving* wall clock) re-baselines the check by committing its
-own smoke records.
+(appended by the CI bench job that just ran) against the *best of the
+last K committed* ``smoke:total`` records (default 5, ``--window``)
+and exits non-zero when events/second drops by more than the allowed
+fraction (default 30%). Taking the best of a window — not just the
+second-newest record — matters: a regression that survives one bench
+run would otherwise become the next run's baseline, and the check
+would ratchet *down* 30% at a time without ever failing. A bounded
+window (rather than the whole history) still lets a PR that
+legitimately shifts the events/second scale (e.g. by deleting cheap
+kernel events outright, which lowers events/s while *improving* wall
+clock) re-baseline the check within K committed smoke records.
 
 With ``--pair PREFIX`` the script instead gates a milestone *pair*
 (e.g. the ``--bench-shard`` records): it finds the newest
@@ -82,6 +84,11 @@ def main(argv=None) -> int:
     parser.add_argument("--max-drop", type=float, default=0.30,
                         help="allowed fractional events/s drop vs the "
                              "baseline (default 0.30)")
+    parser.add_argument("--window", type=int, default=5, metavar="K",
+                        help="baseline is the best of the last K records "
+                             "before the newest (default 5; prevents a "
+                             "surviving regression from ratcheting the "
+                             "baseline down)")
     parser.add_argument("--label", default="smoke:total",
                         help="record label to compare (default smoke:total)")
     parser.add_argument("--pair", metavar="PREFIX",
@@ -114,18 +121,34 @@ def main(argv=None) -> int:
     if seed_era:
         print(f"[bench] skipping {len(seed_era)} seed-era "
               f"'{args.label}' record(s) without event counts")
+    # Zero-event closed-form runs record ``events_per_s: null`` (older
+    # files: ``0``): no events/second figure either way, so they are
+    # skipped explicitly, not silently dropped by the filter below.
+    zero_event = [r for r in labeled if r.get("sim_events") is not None
+                  and not r.get("events_per_s")]
+    if zero_event:
+        print(f"[bench] skipping {len(zero_event)} zero-event "
+              f"'{args.label}' record(s) (closed-form runs have no "
+              f"events/second figure)")
     matching = [r for r in labeled if r.get("events_per_s")]
     if len(matching) < 2:
         print(f"[bench] need >=2 '{args.label}' records to compare "
               f"(found {len(matching)}); skipping")
         return 0
+    if args.window < 1:
+        parser.error("--window must be at least 1")
 
-    baseline, newest = matching[-2], matching[-1]
+    # Baseline: best events/s among the last K records before the
+    # newest. Comparing newest vs second-newest let a regression that
+    # survived one run become the next run's baseline (ratchet-down).
+    newest = matching[-1]
+    pool = matching[-(args.window + 1):-1]
+    baseline = max(pool, key=lambda r: r["events_per_s"])
     floor = baseline["events_per_s"] * (1.0 - args.max_drop)
     verdict = "OK" if newest["events_per_s"] >= floor else "REGRESSION"
     print(f"[bench] {args.label}: baseline {baseline['events_per_s']}/s "
-          f"({baseline.get('date', '?')}), newest "
-          f"{newest['events_per_s']}/s "
+          f"(best of last {len(pool)}, {baseline.get('date', '?')}), "
+          f"newest {newest['events_per_s']}/s "
           f"({newest.get('date', '?')}), floor {floor:.0f}/s -> {verdict}")
     return 0 if verdict == "OK" else 1
 

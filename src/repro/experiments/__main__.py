@@ -33,6 +33,12 @@ of the fleet as mean-field synthetic load (``REPRO_HYBRID_EXACT=N``
 equivalent; arms the sharded cloud tier);
 ``--meanfield`` collapses homogeneous swarm cells into the O(1)
 population model (``REPRO_MEANFIELD=1`` equivalent; approximate);
+``--serving SPEC`` overlays open-loop background tenants on the
+regional cloud tier of sharded runs (``REPRO_SERVING=SPEC``
+equivalent; arms the sharded cloud tier — see ``repro.serving``);
+``--no-serving-admission`` / ``--no-serving-autoscale`` disarm each
+reactive serving policy independently
+(``REPRO_SERVING_ADMISSION=0`` / ``REPRO_SERVING_AUTOSCALE=0``);
 ``--trace`` arms causal request tracing (``REPRO_TRACE=1`` equivalent);
 ``--trace-out PATH`` additionally exports the spans as Chrome
 ``trace_event`` JSON (Perfetto-loadable; one extra file per pool replica)
@@ -127,6 +133,20 @@ def main(argv=None) -> int:
                              "O(1) mean-field population model (sets "
                              "REPRO_MEANFIELD=1; approximate — see "
                              "repro.edge.meanfield)")
+    parser.add_argument("--serving", metavar="SPEC", default=None,
+                        help="overlay open-loop background tenants on "
+                             "the regional cloud tier (sets "
+                             "REPRO_SERVING=SPEC, e.g. "
+                             "'poisson:200,onoff:80:flash'; '1' arms "
+                             "one default Poisson tenant; implies a "
+                             "sharded cloud tier)")
+    parser.add_argument("--no-serving-admission", action="store_true",
+                        help="disarm the serving admission/shedding "
+                             "gate (sets REPRO_SERVING_ADMISSION=0)")
+    parser.add_argument("--no-serving-autoscale", action="store_true",
+                        help="disarm the serving invoker-pool "
+                             "autoscaler (sets "
+                             "REPRO_SERVING_AUTOSCALE=0)")
     parser.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
@@ -205,6 +225,12 @@ def main(argv=None) -> int:
         os.environ["REPRO_HYBRID_EXACT"] = str(args.hybrid_exact)
     if args.meanfield:
         os.environ["REPRO_MEANFIELD"] = "1"
+    if args.serving is not None:
+        os.environ["REPRO_SERVING"] = args.serving
+    if args.no_serving_admission:
+        os.environ["REPRO_SERVING_ADMISSION"] = "0"
+    if args.no_serving_autoscale:
+        os.environ["REPRO_SERVING_AUTOSCALE"] = "0"
     if args.worker_deadline is not None:
         os.environ["REPRO_WORKER_DEADLINE"] = str(args.worker_deadline)
     if args.trace_out:
@@ -308,9 +334,10 @@ def _dispatch_chaos_workers(args) -> int:
 
 def _print_bench(records) -> None:
     for record in records:
+        rate = record["events_per_s"]
         line = (f"{record['label']}: {record['wall_s']}s, "
                 f"{record['sim_events']} events "
-                f"({record['events_per_s']}/s)")
+                f"({rate if rate is not None else 'n/a'}/s)")
         layers = record.get("layer_events")
         if layers:
             parts = ", ".join(f"{layer}={n}"

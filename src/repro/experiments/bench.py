@@ -66,7 +66,11 @@ def record_bench(label: str, wall_s: float, sim_events: int,
         "date": datetime.date.today().isoformat(),
         "wall_s": round(wall_s, 3),
         "sim_events": int(sim_events),
-        "events_per_s": (round(sim_events / wall_s) if wall_s > 0 else 0),
+        # Zero-event runs (closed-form sweep / mean-field) have no
+        # events/second figure: record null, not 0, so consumers skip
+        # them explicitly instead of truthiness-dropping them.
+        "events_per_s": (round(sim_events / wall_s)
+                         if wall_s > 0 and sim_events else None),
         # Cgroup-aware: on a quota-limited container os.cpu_count() lies
         # about how many cores the workload can actually use, which made
         # cross-host events/s comparisons misleading. Keep the raw count

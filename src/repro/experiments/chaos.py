@@ -120,12 +120,17 @@ def _default_duration(spec) -> float:
 
 #: Scale-out topologies the acceptance criteria name, smallest shapes
 #: that still exercise every worker kind (16 devices, 4-device cells).
-WORKER_LANES: Dict[str, Dict[str, int]] = {
+WORKER_LANES: Dict[str, Dict[str, object]] = {
     "sharded": {"shards": 2},
     "cloud_sharded": {"shards": 2, "cloud_shards": 2,
                       "region_devices": 8},
     "hybrid": {"shards": 2, "cloud_shards": 1, "region_devices": 8,
                "exact_devices": 8},
+    # Open-loop background tenants riding the sharded cloud tier while
+    # its workers are killed: shed/scale decisions must replay
+    # byte-identically through supervised recovery.
+    "serving": {"shards": 2, "cloud_shards": 2, "region_devices": 8,
+                "serving": "poisson:30,onoff:10:flash"},
 }
 
 #: Default fault scripts per lane (``action:scope:worker:op``). The
@@ -136,6 +141,7 @@ DEFAULT_WORKER_FAULTS: Dict[str, str] = {
     "sharded": "kill:shard:0:2,hang:shard:1:3",
     "cloud_sharded": "kill:shard:0:2,kill:cloud:0:2",
     "hybrid": "kill:shard:0:2",
+    "serving": "kill:cloud:0:2",
 }
 
 WORKER_N_DEVICES = 16
@@ -168,6 +174,10 @@ def _result_bytes(result) -> Tuple:
         tuple(result.wireless_meter.events),
         result.extras["targets"],
         result.extras["cloud_completions"],
+        # Serving-armed lanes: the shed/scale ledgers and background
+        # latency percentiles must also survive recovery bit-for-bit
+        # (absent — empty string — on the serving-free lanes).
+        str(result.extras.get("serving", "")),
     )
 
 

@@ -52,8 +52,10 @@ def _swarm_cell(platform: str, scenario_key: str, n_devices: int,
     over N shard processes, ``REPRO_CLOUD_SHARDS=N`` additionally
     decomposes the cloud tier into per-region controller workers,
     ``REPRO_HYBRID_EXACT=N`` keeps an N-device exact focus and injects
-    the rest as mean-field synthetic load, and the unarmed default is
-    the byte-identical single-process runner.
+    the rest as mean-field synthetic load, ``REPRO_SERVING=<spec>``
+    overlays open-loop background traffic on the (implicitly sharded)
+    regional cloud tier, and the unarmed default is the byte-identical
+    single-process runner.
     """
     from ..sim import flags
     if flags.meanfield_enabled():
@@ -63,13 +65,15 @@ def _swarm_cell(platform: str, scenario_key: str, n_devices: int,
     shards = flags.shard_count()
     cloud_shards = flags.cloud_shard_count()
     hybrid_exact = flags.hybrid_exact_devices()
-    if shards > 1 or cloud_shards > 0 or hybrid_exact > 0:
+    serving = flags.serving_spec()
+    if shards > 1 or cloud_shards > 0 or hybrid_exact > 0 or serving:
         from ..sim.shard import run_sharded
         result = run_sharded(
             platform_config(platform), _SCENARIOS[scenario_key],
             n_devices, seed=seed, shards=shards,
             cloud_shards=cloud_shards,
-            exact_devices=hybrid_exact or None)
+            exact_devices=hybrid_exact or None,
+            serving=serving or None)
     else:
         result = ScenarioRunner(
             platform_config(platform), _SCENARIOS[scenario_key], seed=seed,

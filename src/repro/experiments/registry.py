@@ -20,6 +20,7 @@ from . import (
     fig16_cars,
     fig17_scalability,
     fig18_validation,
+    fig19_serving,
     sweep,
 )
 from .common import ExperimentResult
@@ -58,6 +59,8 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     # Hybrid exact-focus + mean-field-background fleets (sharded cloud).
     "fig17d": fig17_scalability.run_hybrid,
     "fig18": fig18_validation.run,
+    # Open-loop serving: latency/shed knee + flash-crowd elasticity.
+    "fig19": fig19_serving.run,
     # Closed-form (app, platform, N) grid — zero kernel events by design.
     "sweep": sweep.run,
     # Exact-vs-analytic tolerance check at small N (CI's sweep-smoke job).

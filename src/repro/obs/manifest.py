@@ -43,7 +43,8 @@ def runtime_flags() -> Dict[str, Any]:
     from . import tracing_enabled
     from ..sim.flags import (analytic_net_enabled, batched_rng_enabled,
                              fast_dispatch_enabled)
-    from ..sim.flags import chaos_workers
+    from ..sim.flags import (chaos_workers, serving_admission_enabled,
+                             serving_autoscale_enabled, serving_spec)
     flags = {
         "vector_edge": os.environ.get("REPRO_VECTOR_EDGE", "1") != "0",
         "analytic_net": analytic_net_enabled(),
@@ -57,6 +58,13 @@ def runtime_flags() -> Dict[str, Any]:
     chaos_spec = chaos_workers()
     if chaos_spec:
         flags["chaos_workers"] = chaos_spec
+    # Same convention for open-loop serving: only armed runs stamp the
+    # spec (plus its sub-switches, which matter only when armed).
+    serving = serving_spec()
+    if serving:
+        flags["serving"] = serving
+        flags["serving_admission"] = serving_admission_enabled()
+        flags["serving_autoscale"] = serving_autoscale_enabled()
     return flags
 
 
@@ -79,10 +87,16 @@ class RunManifest:
     @classmethod
     def collect(cls, figure: str, seed: Optional[int] = None,
                 **fields: Any) -> "RunManifest":
-        """Build a manifest stamped with the current flags/rev/time."""
+        """Build a manifest stamped with the current flags/rev/time.
+
+        ``created`` is timezone-aware UTC: naive local stamps made two
+        manifests from the same run look hours apart when compared
+        across hosts.
+        """
         return cls(figure=figure, seed=seed, flags=runtime_flags(),
                    git_rev=git_revision(),
-                   created=datetime.datetime.now().isoformat(
+                   created=datetime.datetime.now(
+                       datetime.timezone.utc).isoformat(
                        timespec="seconds"),
                    **fields)
 

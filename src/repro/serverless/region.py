@@ -121,7 +121,7 @@ class RegionGateway:
 
     def __init__(self, config, scenario, constants: PaperConstants,
                  region: int, n_regions: int, region_devices: int,
-                 total_devices: int, seed: int = 0):
+                 total_devices: int, seed: int = 0, serving=None):
         if config.execution not in ("cloud_faas", "hybrid"):
             raise ValueError(
                 "RegionGateway requires a cloud-backed platform "
@@ -206,11 +206,23 @@ class RegionGateway:
         self.recognition_spec = scenario.recognition.function_spec()
         self.dedup_spec = (scenario.dedup.function_spec()
                            if scenario.dedup is not None else None)
+        #: Mean recognition service time (lognormal mean), the
+        #: occupancy scale the admission delay estimate divides by.
+        self._mean_service_s = (
+            scenario.recognition.cloud_service_s
+            * math.exp(scenario.recognition.service_sigma ** 2 / 2.0))
         _, directives = scenario.dsl_graph()
         self._persisted_tasks = set(directives.persisted)
         self._keepalive_s = config.container_keepalive_s
         self._mitigate = bool(config.straggler_mitigation)
         self._history: Dict[str, MetricSeries] = {}
+
+        #: Open-loop serving stack (:class:`repro.serving.ServingPolicy`)
+        #: — admission gate + invoker-pool autoscaler. ``None`` (the
+        #: unarmed default) leaves every path below byte-identical to
+        #: the serving-free gateway.
+        self._serving = serving
+        self.shed_calls = 0
 
         # -- counters --------------------------------------------------
         self.completions = 0
@@ -338,9 +350,18 @@ class RegionGateway:
 
     # -- placement mirror ----------------------------------------------
     def _healthy(self, t: float) -> List[int]:
-        healthy = [s for s in range(self._n_servers)
+        limit = self._n_servers
+        if self._serving is not None:
+            active = self._serving.active_servers(t)
+            if active is not None:
+                # Autoscaled pool: placement only sees the active
+                # prefix. A just-activated server joins with an empty
+                # warm pool, so scale-out pays cold starts through the
+                # existing invoker model.
+                limit = max(1, min(limit, active))
+        healthy = [s for s in range(limit)
                    if self._probation_until[s] <= t]
-        return healthy or list(range(self._n_servers))
+        return healthy or list(range(limit))
 
     def _place(self, spec, t: float, parent: Optional[Tuple]
                ) -> Tuple[int, Optional[List[float]]]:
@@ -504,11 +525,21 @@ class RegionGateway:
         into.charge("execution", part.execution)
         into.charge("network", part.network)
 
+    def _backlog(self, t: float) -> int:
+        """In-flight admitted calls at ``t`` (the queue-depth signal
+        both reactive serving policies key on). Popping expired entries
+        here is the same maintenance :meth:`_invoke` performs at its
+        admission step, just earlier."""
+        while self._admitted and self._admitted[0] <= t:
+            heapq.heappop(self._admitted)
+        return len(self._admitted)
+
     # -- serving --------------------------------------------------------
     def serve(self, calls) -> List[Tuple[int, int, float, Dict[str, float]]]:
         """Serve one canonical-order batch; returns completion tuples
         ``(cell, seq, completion_s, breakdown_dict)`` and stamps the
-        calls in place."""
+        calls in place. Calls shed by the admission gate are stamped
+        ``shed=True`` and yield no completion tuple."""
         out = []
         for call in calls:
             if call.arrival_s < self._last_arrival:
@@ -516,11 +547,30 @@ class RegionGateway:
                     f"region {self.region}: out-of-order cloud message "
                     f"({call.arrival_s:.6f} < {self._last_arrival:.6f})")
             self._last_arrival = call.arrival_s
-            out.append(self._serve(call))
+            served = self._serve(call)
+            if served is not None:
+                out.append(served)
         return out
 
-    def _serve(self, call) -> Tuple[int, int, float, Dict[str, float]]:
+    def _serve(self, call
+               ) -> Optional[Tuple[int, int, float, Dict[str, float]]]:
         t = call.arrival_s
+        if self._serving is not None:
+            backlog = self._backlog(t)
+            self._serving.observe(t, backlog)
+            tenant = getattr(call, "tenant", None)
+            if tenant is not None:
+                # Estimated queueing delay: in-flight work beyond the
+                # regional core pool, at mean service occupancy.
+                cores = self._n_servers * self._cores
+                excess = max(0, backlog - cores)
+                est_delay = (excess / cores) * self._mean_service_s
+                if not self._serving.admit(t, tenant, call.weight,
+                                           backlog, est_delay):
+                    call.shed = True
+                    call.completion_s = None
+                    self.shed_calls += 1
+                    return None
         breakdown = LatencyBreakdown()
         synthetic = bool(getattr(call, "synthetic", False))
         mitigate = self._mitigate and not synthetic
@@ -565,7 +615,7 @@ class RegionGateway:
         return (call.cell, call.seq, t, call.cloud_breakdown)
 
     def stats(self) -> Dict[str, float]:
-        return {
+        out = {
             "completions": self.completions,
             "last_completion_s": self.last_completion_s,
             "background_completions": self.background_completions,
@@ -576,3 +626,7 @@ class RegionGateway:
             "duplicate_launches": self.duplicate_launches,
             "injected_faults": self.injected_faults,
         }
+        if self._serving is not None:
+            out["shed_calls"] = self.shed_calls
+            out["serving"] = self._serving.stats()
+        return out

@@ -1,0 +1,128 @@
+"""Admission control and load shedding at the controller's front door.
+
+Under open-loop overload the platform's own concurrency limit only
+*delays* admission (arrivals queue on the regional ``_admitted`` heap
+and wait), so queues — and tail latency — grow without bound. The
+admission controller sheds instead: a queue-length / delay-bound gate
+in front of the pipeline, with per-tenant weighted fairness so bulk
+background tenants cannot starve swarm-critical calls.
+
+The gate has three regimes, keyed on the in-flight backlog ``q`` and
+the estimated queueing delay:
+
+- ``q <= queue_bound`` and delay within bound: admit everything.
+- ``queue_bound < q <= hard_bound`` (the *fair-trim* band): background
+  tenants are trimmed by weighted fair share — a tenant is admitted
+  only while its normalized admitted work ``admitted/weight`` does not
+  exceed the minimum across active background tenants (start-time
+  weighted fairness, the WFQ virtual-clock rule collapsed to
+  unit-work calls). Over-share tenants shed first; an on-weight tenant
+  keeps its proportional trickle.
+- ``q > hard_bound`` or delay beyond ``delay_bound_s``: shed every
+  background call.
+
+Swarm-critical calls (``tenant is None``) are **never** shed — they
+bypass the gate entirely and only appear in the ledger as offered
+work. Decisions are pure functions of the call sequence, so armed runs
+stay byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+#: Shed-event sample retention: enough to reconstruct the shed
+#: trajectory in spans/tests without shipping an unbounded list across
+#: worker pipes.
+MAX_SHED_SAMPLES = 512
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Gate bounds (pure data, picklable).
+
+    ``queue_bound``/``hard_bound`` are in-flight call counts; ``None``
+    derives them from the serving cluster size at policy build time
+    (2x and 4x the region's core count — queues past "every core busy
+    twice over" are pure waiting).
+    """
+
+    queue_bound: Optional[int] = None
+    hard_bound: Optional[int] = None
+    delay_bound_s: float = 2.0
+
+    def resolved(self, cores: int) -> Tuple[int, int]:
+        soft = (self.queue_bound if self.queue_bound is not None
+                else max(8, 2 * cores))
+        hard = (self.hard_bound if self.hard_bound is not None
+                else max(soft + 1, 2 * soft))
+        if hard <= soft:
+            raise ValueError("hard_bound must exceed queue_bound")
+        return soft, hard
+
+
+class AdmissionController:
+    """The per-region gate; one instance per
+    :class:`~repro.serverless.region.RegionGateway`."""
+
+    def __init__(self, config: AdmissionConfig, cores: int,
+                 tenant_weights: Optional[Dict[str, float]] = None):
+        self.queue_bound, self.hard_bound = config.resolved(cores)
+        self.delay_bound_s = config.delay_bound_s
+        self._weights = dict(tenant_weights or {})
+        #: Normalized admitted work per background tenant (the WFQ
+        #: virtual clock: admitted unit-calls / weight).
+        self._vtime: Dict[str, float] = {}
+        self.offered: Dict[str, int] = {}
+        self.admitted: Dict[str, int] = {}
+        self.shed: Dict[str, int] = {}
+        #: First shed instants ``(t, tenant)`` — capped, for spans.
+        self.shed_samples: List[Tuple[float, str]] = []
+        self.total_shed = 0
+
+    def _bump(self, ledger: Dict[str, int], tenant: str) -> None:
+        ledger[tenant] = ledger.get(tenant, 0) + 1
+
+    def offer(self, t: float, tenant: Optional[str], weight: float,
+              backlog: int, est_delay_s: float) -> bool:
+        """Admit or shed one arrival; swarm calls always pass."""
+        key = tenant if tenant is not None else "swarm"
+        self._bump(self.offered, key)
+        if tenant is None:
+            self._bump(self.admitted, key)
+            return True
+        weight = self._weights.get(tenant, weight)
+        vt = self._vtime.setdefault(tenant, 0.0)
+        if backlog > self.hard_bound or est_delay_s > self.delay_bound_s:
+            admit = False
+        elif backlog > self.queue_bound:
+            # Fair-trim band: only tenants at the minimum normalized
+            # admitted work may claim slots (epsilon absorbs float
+            # accumulation; decisions stay deterministic).
+            admit = vt <= min(self._vtime.values()) + 1e-9
+        else:
+            admit = True
+        if admit:
+            self._bump(self.admitted, key)
+            self._vtime[tenant] = vt + 1.0 / weight
+        else:
+            self._bump(self.shed, key)
+            self.total_shed += 1
+            if len(self.shed_samples) < MAX_SHED_SAMPLES:
+                self.shed_samples.append((t, key))
+        return admit
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "queue_bound": self.queue_bound,
+            "hard_bound": self.hard_bound,
+            "delay_bound_s": self.delay_bound_s,
+            "offered": dict(self.offered),
+            "admitted": dict(self.admitted),
+            "shed": dict(self.shed),
+            "total_shed": self.total_shed,
+            "shed_samples": list(self.shed_samples),
+        }

@@ -30,6 +30,14 @@ The supervision knobs (``REPRO_WORKER_DEADLINE``,
 watchdog of :mod:`repro.sim.supervisor`; only the chaos spec changes
 behaviour when armed (it injects real process faults), and it too
 defaults to off.
+
+The serving knobs follow the scale-out convention: ``REPRO_SERVING``
+defaults to **off** (empty — no background load, unarmed runs
+byte-identical to the seed) and a non-empty spec arms the open-loop
+load generator of :mod:`repro.serving`; the sub-switches
+``REPRO_SERVING_ADMISSION`` / ``REPRO_SERVING_AUTOSCALE`` default to
+**on within an armed serving run** and independently disarm each
+reactive policy.
 """
 
 from __future__ import annotations
@@ -48,6 +56,9 @@ __all__ = [
     "worker_deadline",
     "worker_retries",
     "chaos_workers",
+    "serving_spec",
+    "serving_admission_enabled",
+    "serving_autoscale_enabled",
 ]
 
 
@@ -191,6 +202,37 @@ def chaos_workers(override: Optional[str] = None) -> str:
     if override is not None:
         return override
     return os.environ.get("REPRO_CHAOS_WORKERS", "")
+
+
+def serving_spec(override: Optional[str] = None) -> str:
+    """Resolve the open-loop serving spec (``REPRO_SERVING``).
+
+    Defaults to **off** (empty string — no background load, unarmed
+    runs byte-identical to the seed). A non-empty value is a
+    :func:`repro.serving.load.parse_serving_spec` tenant list, e.g.
+    ``poisson:200,onoff:80:flash:0.5`` (the bare ``1`` arms one
+    default Poisson tenant). Serving load is served by the regional
+    cloud tier, so an armed spec implies ``cloud_shards >= 1`` in
+    :func:`repro.sim.shard.run_sharded` — the hybrid mean-field
+    precedent.
+    """
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_SERVING", "")
+
+
+def serving_admission_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the admission/shedding sub-switch
+    (``REPRO_SERVING_ADMISSION``; default on, meaningful only inside a
+    serving-armed run)."""
+    return _enabled("REPRO_SERVING_ADMISSION", override)
+
+
+def serving_autoscale_enabled(override: Optional[bool] = None) -> bool:
+    """Resolve the invoker-pool autoscaling sub-switch
+    (``REPRO_SERVING_AUTOSCALE``; default on, meaningful only inside a
+    serving-armed run)."""
+    return _enabled("REPRO_SERVING_AUTOSCALE", override)
 
 
 def meanfield_enabled(override: Optional[bool] = None) -> bool:

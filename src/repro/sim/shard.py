@@ -167,6 +167,14 @@ class CloudCall:
     #: Tasks' worth of load this message carries (synthetic streams
     #: compress many batches into one weighted call; exact calls are 1).
     weight: float = 1.0
+    # -- open-loop serving ---------------------------------------------
+    #: Owning serving tenant (``None`` for swarm and mean-field
+    #: traffic). Tenant-tagged calls go through the admission gate and
+    #: its per-tenant fairness ledger; swarm calls never do.
+    tenant: Optional[str] = None
+    #: True when the admission controller shed this call (no pipeline
+    #: stages priced, no completion).
+    shed: bool = False
 
     @property
     def sort_key(self) -> Tuple[float, int, int]:
@@ -459,14 +467,26 @@ class _Shard:
 
 def _build_regions(region_specs, config, scenario, constants,
                    total_devices: int, seed: int, n_regions: int,
-                   region_plans: Optional[Dict] = None) -> Dict:
-    from ..serverless.region import RegionGateway
+                   region_plans: Optional[Dict] = None,
+                   serving_cfg=None) -> Dict:
+    from ..serverless.region import RegionGateway, region_server_count
     gateways = {}
     for region, count in region_specs:
+        serving = None
+        if serving_cfg is not None:
+            # Policies are mutable per-region state: rebuild them here,
+            # in whichever process owns the gateway (only the picklable
+            # ServingConfig crosses the pipe).
+            from ..serving import ServingPolicy
+            serving = ServingPolicy(
+                serving_cfg,
+                n_servers=region_server_count(
+                    region, n_regions, constants.cluster.servers),
+                cores_per_server=constants.cluster.cores_per_server)
         gateway = RegionGateway(
             config, scenario, constants, region=region,
             n_regions=n_regions, region_devices=count,
-            total_devices=total_devices, seed=seed)
+            total_devices=total_devices, seed=seed, serving=serving)
         plan = (region_plans or {}).get(region)
         if plan is not None and plan.armed:
             gateway.apply_fault_plan(plan)
@@ -477,8 +497,8 @@ def _build_regions(region_specs, config, scenario, constants,
 def _region_worker_main(conn, config, scenario, region_specs, constants,
                         total_devices: int, seed: int, n_regions: int,
                         region_plans: Optional[Dict] = None,
-                        faults: Tuple[Tuple[str, int, float], ...] = ()
-                        ) -> None:
+                        faults: Tuple[Tuple[str, int, float], ...] = (),
+                        serving_cfg=None) -> None:
     """Cloud worker loop: build my regions, then serve call batches.
 
     Protocol (parent -> worker): ``("serve", [(region, calls), ...])``
@@ -492,7 +512,7 @@ def _region_worker_main(conn, config, scenario, region_specs, constants,
     """
     gateways = _build_regions(region_specs, config, scenario, constants,
                               total_devices, seed, n_regions,
-                              region_plans)
+                              region_plans, serving_cfg=serving_cfg)
     op = 0
     try:
         while True:
@@ -524,10 +544,11 @@ class _LocalRegions:
 
     def __init__(self, region_specs, config, scenario, constants,
                  total_devices: int, seed: int, n_regions: int,
-                 region_plans: Optional[Dict] = None):
+                 region_plans: Optional[Dict] = None,
+                 serving_cfg=None):
         self._gateways = _build_regions(
             region_specs, config, scenario, constants, total_devices,
-            seed, n_regions, region_plans)
+            seed, n_regions, region_plans, serving_cfg=serving_cfg)
 
     def request(self, command: str, argument) -> object:
         if command == "serve":
@@ -556,7 +577,8 @@ class _CloudShard:
                  faults: Optional[WorkerFaultPlan] = None,
                  deadline_s: float = DEADLINE_FALLBACK_S,
                  retries: int = 2,
-                 region_plans: Optional[Dict] = None):
+                 region_plans: Optional[Dict] = None,
+                 serving_cfg=None):
         self.regions = [region for region, _ in region_specs]
         faults = faults if faults is not None else WorkerFaultPlan()
 
@@ -567,7 +589,7 @@ class _CloudShard:
                 target=_region_worker_main,
                 args=(child_conn, config, scenario, region_specs,
                       constants, total_devices, seed, n_regions,
-                      region_plans, worker_side_faults),
+                      region_plans, worker_side_faults, serving_cfg),
                 daemon=True)
             process.start()
             child_conn.close()
@@ -580,7 +602,8 @@ class _CloudShard:
             fallback=lambda: _LocalRegions(region_specs, config,
                                            scenario, constants,
                                            total_devices, seed,
-                                           n_regions, region_plans),
+                                           n_regions, region_plans,
+                                           serving_cfg=serving_cfg),
             deadline_s=deadline_s,
             retries=retries,
             kill_ops=faults.kill_ops("cloud", worker_id),
@@ -645,6 +668,61 @@ def _merge_latencies(results: List[Tuple[int, RunResult, List[CloudCall]]],
             breakdown = local_records[cell][position]
         breakdowns.add(breakdown)
     return latencies, breakdowns
+
+
+def _aggregate_serving(serving_cfg, serving_calls, completion_map,
+                       region_stats) -> Dict[str, object]:
+    """Merge per-region serving counters and price the background
+    stream's end-to-end latency from the driver-side call copies.
+
+    The region workers returned their gate/autoscaler ledgers in
+    ``stats()["serving"]``; the driver still holds every serving call
+    it generated, so joining completions back by ``(cell, seq)`` gives
+    per-call latency without shipping call objects back over the pipe.
+    """
+    offered: Dict[str, int] = {}
+    admitted: Dict[str, int] = {}
+    shed: Dict[str, int] = {}
+    scale_outs = scale_ins = 0
+    shed_calls = 0
+    for stats in region_stats.values():
+        shed_calls += stats.get("shed_calls", 0)
+        per_region = stats.get("serving") or {}
+        admission = per_region.get("admission") or {}
+        for key, bucket in (("offered", offered),
+                            ("admitted", admitted), ("shed", shed)):
+            for tenant, count in (admission.get(key) or {}).items():
+                bucket[tenant] = bucket.get(tenant, 0) + count
+        autoscale = per_region.get("autoscale") or {}
+        scale_outs += autoscale.get("scale_outs", 0)
+        scale_ins += autoscale.get("scale_ins", 0)
+    latencies: List[float] = []
+    for call in serving_calls:
+        done = completion_map.get((call.cell, call.seq))
+        if done is not None:
+            call.completion_s, call.cloud_breakdown = done
+            latencies.append(done[0] - call.arrival_s)
+    out: Dict[str, object] = {
+        "tenants": [tenant.name for tenant in serving_cfg.tenants],
+        "offered_calls": len(serving_calls),
+        "served_calls": len(latencies),
+        "shed_calls": shed_calls,
+        "offered": offered,
+        "admitted": admitted,
+        "shed": shed,
+        "scale_outs": scale_outs,
+        "scale_ins": scale_ins,
+        "admission_enabled": serving_cfg.admission_enabled,
+        "autoscale_enabled": serving_cfg.autoscale_enabled,
+    }
+    if latencies:
+        import numpy
+        array = numpy.asarray(latencies)
+        for label, quantile in (("p50", 50.0), ("p99", 99.0),
+                                ("p999", 99.9)):
+            out[f"latency_{label}_s"] = round(
+                float(numpy.percentile(array, quantile)), 6)
+    return out
 
 
 def _merge_extras(results, cloud_stats: Dict, makespan: float,
@@ -720,6 +798,7 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                 worker_faults: Optional[WorkerFaultPlan] = None,
                 worker_deadline_s: Optional[float] = None,
                 worker_retries: Optional[int] = None,
+                serving=None,
                 **runner_kwargs) -> RunResult:
     """Run one scenario with the swarm decomposed into cells over
     ``shards`` worker processes; returns a merged :class:`RunResult`
@@ -758,6 +837,16 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     the chaos injector of :mod:`repro.faults.worker` against the real
     worker processes; armed runs force one process per scheduling group
     so there is a real process to kill.
+
+    ``serving`` arms the open-loop background load of
+    :mod:`repro.serving`: a spec string (``REPRO_SERVING`` grammar) or a
+    prebuilt :class:`~repro.serving.ServingConfig`. Serving calls are
+    generated once in the driver from the seed's private serving stream
+    namespace and injected into their regions through the same
+    synthetic-stream machinery as hybrid mean-field load, so armed rows
+    are identical at any ``(shards, cloud_shards)`` grouping; like
+    hybrid runs, serving implies a sharded cloud tier
+    (``cloud_shards >= 1``).
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
@@ -770,6 +859,18 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
     if exact_devices is not None and cloud_shards == 0:
         # Synthetic background streams are served by the regional tier;
         # a hybrid run arms it implicitly at one worker group.
+        cloud_shards = 1
+    serving_cfg = None
+    if serving is not None and not isinstance(serving, str):
+        serving_cfg = serving  # a prebuilt ServingConfig
+    else:
+        serving_resolved = flags.serving_spec(serving)
+        if serving_resolved:
+            from ..serving import ServingConfig
+            serving_cfg = ServingConfig.from_spec(serving_resolved)
+    if serving_cfg is not None and cloud_shards == 0:
+        # Serving load rides the regional tier (same precedent as
+        # hybrid): arm it implicitly at one worker group.
         cloud_shards = 1
     if worker_faults is None:
         chaos_spec = flags.chaos_workers()
@@ -833,7 +934,8 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                                     and not chaos_armed),
                         worker_id=worker_id, faults=worker_faults,
                         deadline_s=deadline_s, retries=retries,
-                        region_plans=region_plans)
+                        region_plans=region_plans,
+                        serving_cfg=serving_cfg)
             for worker_id, group in enumerate(
                 group for group in cloud_groups if group)]
         for handle in cloud_handles:
@@ -866,9 +968,25 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                 synthetic_by_region.setdefault(
                     spec.region, []).extend(calls)
                 synthetic_meter.extend(events)
-            for region, calls in synthetic_by_region.items():
-                calls.sort(key=lambda call: call.sort_key)
-                synthetic_cursor[region] = 0
+
+        # Open-loop serving load: generated once here in the driver (a
+        # pure function of seed + spec, never of worker grouping) and
+        # injected through the same synthetic-stream machinery as the
+        # mean-field background.
+        serving_calls: List[CloudCall] = []
+        serving_truncated: Tuple[str, ...] = ()
+        if serving_cfg is not None:
+            from ..serving import generate_serving_calls
+            serving_calls, serving_truncated = generate_serving_calls(
+                serving_cfg.tenants, serving_cfg.duration_s, seed,
+                scenario, n_regions=n_regions)
+            for call in serving_calls:
+                synthetic_by_region.setdefault(
+                    call.region, []).append(call)
+
+        for region, calls in synthetic_by_region.items():
+            calls.sort(key=lambda call: call.sort_key)
+            synthetic_cursor[region] = 0
 
         def take_synthetic(region: int, until: float) -> List[CloudCall]:
             pending = synthetic_by_region.get(region)
@@ -989,6 +1107,16 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                               replica=handle.specs[0].index)
         results.sort(key=lambda item: item[0])
 
+        if serving_cfg is not None and tracer is not None:
+            # Elasticity reactions (shed instants, scale decisions) on
+            # the same timeline as the call pipeline spans.
+            from ..serving import emit_serving_spans
+            for region in sorted(region_stats):
+                per_region = region_stats[region].get("serving")
+                if per_region:
+                    emit_serving_spans(tracer, per_region,
+                                       f"region{region}", replica=region)
+
         # Worker-side call copies carry the edge half; the cloud tier
         # finalized the cloud half elsewhere. Join them by (cell, seq):
         # region workers return completion tuples, the monolithic
@@ -1059,6 +1187,15 @@ def run_sharded(config: PlatformConfig, scenario, n_devices: int,
                 cloud_stats["injected_backend_faults"] = sum(
                     stats.get("injected_faults", 0)
                     for stats in region_stats.values())
+            if serving_cfg is not None:
+                cloud_stats["serving"] = _aggregate_serving(
+                    serving_cfg, serving_calls, completion_map,
+                    region_stats)
+                if serving_truncated:
+                    # No silent caps: name the tenants whose streams hit
+                    # the per-tenant call ceiling.
+                    cloud_stats["serving"]["truncated_tenants"] = list(
+                        serving_truncated)
         else:
             cloud_stats = {
                 "cloud_completions": gateway.completions,

@@ -21,6 +21,17 @@ def test_record_appends_to_trajectory(tmp_path):
     assert stored["runs"][0]["cores"] >= 1
 
 
+def test_zero_event_run_records_null_rate(tmp_path):
+    """Closed-form runs have no events/s figure: null, never 0 (a 0
+    would read as a catastrophic regression to the bench checker)."""
+    target = tmp_path / "BENCH_kernel.json"
+    record = record_bench("unit:closed-form", 2.0, 0, path=str(target))
+    assert record["events_per_s"] is None
+    assert record["sim_events"] == 0
+    stored = json.loads(target.read_text())
+    assert stored["runs"][0]["events_per_s"] is None
+
+
 def test_load_missing_file_is_empty(tmp_path):
     assert load_bench(str(tmp_path / "absent.json")) == {"runs": []}
 

@@ -32,7 +32,7 @@ class TestRegistry:
                     "fig05a", "fig05b", "fig05c", "fig06a", "fig06b",
                     "fig06c", "fig11", "fig12", "fig13", "fig14", "fig15",
                     "fig16", "fig17a", "fig17b", "fig17c", "fig17d",
-                    "fig18", "sweep", "sweep-validate"}
+                    "fig18", "fig19", "sweep", "sweep-validate"}
         assert set(experiment_ids()) == expected
 
     def test_unknown_experiment(self):

@@ -1,5 +1,6 @@
 """Chrome trace-event exporter shape and run-manifest round-trips."""
 
+import datetime
 import json
 
 import pytest
@@ -100,6 +101,11 @@ class TestManifest:
                                        "fast_dispatch", "batched_rng",
                                        "trace"}
         assert manifest.created  # ISO timestamp, non-empty
+        # Timezone-aware UTC, not a naive local time: manifests from
+        # different hosts must be comparable.
+        created = datetime.datetime.fromisoformat(manifest.created)
+        assert created.tzinfo is not None
+        assert created.utcoffset() == datetime.timedelta(0)
 
     def test_runtime_flags_reflect_tracer(self):
         from repro import obs

@@ -1,0 +1,104 @@
+"""Regression tests for scripts/check_bench_regression.py.
+
+The headline case is the ratchet-down bug: the old checker compared
+the newest record only against the *second-newest*, so a regression
+that survived one bench run became the next run's baseline and the
+throughput could decay 30% per run without ever failing. The checker
+now baselines against the best of the last K records; the two-step
+regression sequence the old logic waved through must fail.
+
+The script is exercised the way CI runs it — as a subprocess — so
+argument parsing and exit codes are covered too.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.quick
+
+SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+          / "scripts" / "check_bench_regression.py")
+
+
+def _record(events_per_s, sim_events=100_000, label="smoke:total"):
+    return {"label": label, "date": "2026-01-01", "wall_s": 1.0,
+            "sim_events": sim_events, "events_per_s": events_per_s}
+
+
+def run_checker(tmp_path, records, *extra_args):
+    path = tmp_path / "BENCH_kernel.json"
+    path.write_text(json.dumps({"runs": records}))
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(path), *extra_args],
+        capture_output=True, text=True)
+
+
+class TestRatchetDown:
+    #: One big drop that survived a run, then a small one: each pairwise
+    #: step is within the default 30% allowance, but the newest record
+    #: sits at 64% of the true baseline.
+    SEQUENCE = [1000, 650, 640]
+
+    def test_two_step_regression_fails(self, tmp_path):
+        proc = run_checker(tmp_path,
+                           [_record(v) for v in self.SEQUENCE])
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+        assert "best of last" in proc.stdout
+
+    def test_window_1_restores_the_old_pairwise_blind_spot(self, tmp_path):
+        proc = run_checker(tmp_path,
+                           [_record(v) for v in self.SEQUENCE],
+                           "--window", "1")
+        assert proc.returncode == 0, proc.stdout
+
+    def test_noise_within_allowance_passes(self, tmp_path):
+        proc = run_checker(tmp_path,
+                           [_record(v) for v in (1000, 950, 980)])
+        assert proc.returncode == 0, proc.stdout
+        assert "OK" in proc.stdout
+
+    def test_rebaseline_after_window_scrolls_past(self, tmp_path):
+        """A legitimate scale shift re-baselines once the window no
+        longer sees the old records."""
+        records = [_record(1000)] + [_record(500)] * 6
+        proc = run_checker(tmp_path, records)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_window_must_be_positive(self, tmp_path):
+        proc = run_checker(tmp_path, [_record(1000), _record(900)],
+                           "--window", "0")
+        assert proc.returncode == 2
+
+
+class TestSkippedRecords:
+    def test_zero_event_records_are_skipped_and_counted(self, tmp_path):
+        records = [
+            _record(1000),
+            # New-style closed-form run (events_per_s: null) and an
+            # old-style one (0): neither has an events/s figure.
+            _record(None, sim_events=0),
+            _record(0, sim_events=0),
+            _record(990),
+        ]
+        proc = run_checker(tmp_path, records)
+        assert proc.returncode == 0, proc.stdout
+        assert "skipping 2 zero-event" in proc.stdout
+
+    def test_seed_era_records_are_skipped(self, tmp_path):
+        records = [{"label": "smoke:total", "wall_s": 1.0,
+                    "sim_events": None},
+                   _record(1000), _record(990)]
+        proc = run_checker(tmp_path, records)
+        assert proc.returncode == 0, proc.stdout
+        assert "seed-era" in proc.stdout
+
+    def test_too_few_records_skips_cleanly(self, tmp_path):
+        proc = run_checker(tmp_path, [_record(1000),
+                                      _record(None, sim_events=0)])
+        assert proc.returncode == 0
+        assert "need >=2" in proc.stdout

@@ -44,6 +44,10 @@ REGISTRY = (
     "fig06b.gaps",
     "keepalive.gaps",
     "faults.injector",
+    # Serving tenants interpolate the tenant *name* (a string); the
+    # integer expansion below stands in for arbitrary names, and the
+    # registry itself lives under its own seed offset (+314_159).
+    "serving.{i}",
 )
 
 #: Expansion width for ``{i}`` patterns — past the largest fig17 sweep.
